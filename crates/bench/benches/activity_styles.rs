@@ -1,0 +1,60 @@
+//! E3 — Figs. 4/6/8: the defragmenter in each activity style, in both
+//! positions. Matching styles run as direct calls; mismatched styles pay
+//! for coroutine hand-offs. All produce identical output (checked by the
+//! integration tests); this bench measures what each choice costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infopipes::helpers::{ActiveDefrag, CollectSink, IterSource, PullDefrag, PushDefrag};
+use infopipes::{FreePump, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+
+const FRAGMENTS: u8 = 200;
+
+fn run(style: &str, push_mode: bool) -> usize {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let produced = {
+        let pipeline = Pipeline::new(&kernel, "styles");
+        let fragments: Vec<Vec<u8>> = (0..FRAGMENTS).map(|i| vec![i; 16]).collect();
+        let source = pipeline.add_producer("source", IterSource::new("source", fragments));
+        let (sink, out) = CollectSink::<Vec<u8>>::new("sink");
+        let sink = pipeline.add_consumer("sink", sink);
+        let defrag = match style {
+            "consumer" => pipeline.add_consumer("defrag", PushDefrag::new()),
+            "producer" => pipeline.add_producer("defrag", PullDefrag::new()),
+            "active" => pipeline.add_active("defrag", ActiveDefrag::new()),
+            other => unreachable!("unknown style {other}"),
+        };
+        let pump = pipeline.add_pump("pump", FreePump::new());
+        if push_mode {
+            let _ = source >> pump >> defrag >> sink;
+        } else {
+            let _ = source >> defrag >> pump >> sink;
+        }
+        let running = pipeline.start().expect("plan");
+        running.start_flow().expect("start");
+        running.wait_quiescent();
+        let n = out.lock().len();
+        n
+    };
+    kernel.shutdown();
+    assert_eq!(produced, usize::from(FRAGMENTS) / 2);
+    produced
+}
+
+fn bench_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defrag_styles");
+    group.sample_size(10);
+    for style in ["consumer", "producer", "active"] {
+        for (mode, push) in [("push", true), ("pull", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(style, mode),
+                &(style, push),
+                |b, (style, push)| b.iter(|| run(style, *push)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_styles);
+criterion_main!(benches);

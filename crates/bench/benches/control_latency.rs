@@ -1,0 +1,172 @@
+//! E7 — §2.2/§3.2: control events are delivered "with higher priority
+//! than potentially long-running data processing". Measures the latency
+//! from broadcasting a control event to its handler running, while
+//! several busy video-like sections hog the kernel — with priority
+//! scheduling on versus the FIFO ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infopipes::helpers::IterSource;
+use infopipes::{
+    ControlEvent, EventCtx, FreePump, Item, Pipeline, RunningPipeline, Stage, StageCtx,
+};
+use mbthread::{Kernel, KernelConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A data stage that burns real CPU time per item (non-preemptible work,
+/// like a software video decoder).
+struct SpinStage {
+    work: Duration,
+}
+
+impl Stage for SpinStage {
+    fn name(&self) -> &str {
+        "spin-decoder"
+    }
+}
+
+impl infopipes::Consumer for SpinStage {
+    fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
+        let start = Instant::now();
+        while start.elapsed() < self.work {
+            std::hint::spin_loop();
+        }
+        ctx.put(item);
+    }
+}
+
+/// A sink that swallows items.
+struct Devourer;
+
+impl Stage for Devourer {
+    fn name(&self) -> &str {
+        "devourer"
+    }
+}
+
+impl infopipes::Consumer for Devourer {
+    fn push(&mut self, _ctx: &mut StageCtx<'_, '_>, _item: Item) {}
+}
+
+/// The probe: records when its control handler actually ran.
+struct EventProbe {
+    seen: Arc<Mutex<Option<Instant>>>,
+}
+
+impl Stage for EventProbe {
+    fn name(&self) -> &str {
+        "event-probe"
+    }
+
+    fn on_event(&mut self, _ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {
+        if event.kind_name() == "probe" {
+            let mut seen = self.seen.lock();
+            if seen.is_none() {
+                *seen = Some(Instant::now());
+            }
+        }
+    }
+}
+
+impl infopipes::Consumer for EventProbe {
+    fn push(&mut self, _ctx: &mut StageCtx<'_, '_>, _item: Item) {}
+}
+
+struct Setup {
+    kernel: Kernel,
+    running: RunningPipeline,
+    seen: Arc<Mutex<Option<Instant>>>,
+}
+
+fn build(priority_scheduling: bool, busy_sections: usize) -> Setup {
+    let mut cfg = KernelConfig::default();
+    cfg.priority_scheduling = priority_scheduling;
+    // Broadcast control events land in *every* thread's queue; with
+    // queue-based inheritance enabled they would boost the busy sections
+    // too, masking the scheduling effect this experiment isolates.
+    cfg.priority_inheritance = false;
+    let kernel = Kernel::new(cfg);
+
+    let pipeline = Pipeline::new(&kernel, "latency");
+    // Busy sections: endless flows through 800 us of spinning each.
+    for i in 0..busy_sections {
+        let src = pipeline.add_producer(
+            &format!("src{i}"),
+            IterSource::new(format!("src{i}"), 0u64..u64::MAX),
+        );
+        let pump = pipeline.add_pump(&format!("pump{i}"), FreePump::new());
+        let spin = pipeline.add_consumer(
+            &format!("spin{i}"),
+            SpinStage {
+                work: Duration::from_micros(800),
+            },
+        );
+        let sink = pipeline.add_consumer(&format!("sink{i}"), Devourer);
+        let _ = src >> pump >> spin >> sink;
+    }
+    // The probe section: idle, but its thread receives events.
+    let seen = Arc::new(Mutex::new(None));
+    let probe_src = pipeline.add_producer("probe-src", IterSource::new("probe-src", 0u64..0));
+    let probe_pump = pipeline.add_pump("probe-pump", FreePump::new());
+    let probe = pipeline.add_consumer(
+        "probe",
+        EventProbe {
+            seen: Arc::clone(&seen),
+        },
+    );
+    let _ = probe_src >> probe_pump >> probe;
+    let running = pipeline.start().expect("plan");
+    running.start_flow().expect("start");
+    // Let the busy sections spin up.
+    std::thread::sleep(Duration::from_millis(20));
+    Setup {
+        kernel,
+        running,
+        seen,
+    }
+}
+
+fn measure_once(setup: &Setup) -> Duration {
+    *setup.seen.lock() = None;
+    let t0 = Instant::now();
+    setup
+        .running
+        .send_event(ControlEvent::custom("probe", 0.0))
+        .expect("send");
+    loop {
+        if let Some(at) = *setup.seen.lock() {
+            return at.duration_since(t0);
+        }
+        if t0.elapsed() > Duration::from_secs(5) {
+            panic!("control event was never delivered");
+        }
+        std::hint::spin_loop();
+    }
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_latency");
+    group.sample_size(20);
+    for (label, prio) in [("priority", true), ("fifo", false)] {
+        let setup = build(prio, 4);
+        // Print a one-shot reading for EXPERIMENTS.md.
+        let sample = measure_once(&setup);
+        println!("control latency under load, {label} scheduling: {sample:?}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += measure_once(&setup);
+                }
+                total
+            });
+        });
+        setup.running.stop().ok();
+        setup.kernel.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E2 — Fig. 9: per-item cost of each pipeline configuration. The
+//! planner's allocations (1/1/1/2/3/3/2/2 threads for a–h) determine how
+//! many synchronous hand-offs each item costs; direct-call configurations
+//! (a, b, c) move items for the price of function calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infopipes_bench::{run_fig9, FIG9};
+
+const ITEMS: u32 = 500;
+
+fn bench_fig9(c: &mut Criterion) {
+    // Print the allocation table once, alongside the timing results.
+    println!("\nFig. 9 thread/coroutine allocations ({ITEMS} items each):");
+    println!(
+        "{:<8} {:>8} {:>10} {:>14} {:>16}",
+        "config", "threads", "expected", "ctx switches", "kernel messages"
+    );
+    for cfg in &FIG9 {
+        let (report, delivered, stats) = run_fig9(cfg, ITEMS);
+        assert_eq!(delivered as u32, ITEMS);
+        assert_eq!(report.total_threads(), cfg.expected_threads);
+        println!(
+            "{:<8} {:>8} {:>10} {:>14} {:>16}",
+            cfg.label,
+            report.total_threads(),
+            cfg.expected_threads,
+            stats.context_switches,
+            stats.messages_sent
+        );
+    }
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for cfg in &FIG9 {
+        group.bench_with_input(BenchmarkId::from_parameter(cfg.label), cfg, |b, cfg| {
+            b.iter(|| run_fig9(cfg, ITEMS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E5 — Fig. 1's jitter buffer: presentation jitter with and without the
+//! buffer + clocked output pump, under bursty (size-dependent) decode
+//! times. The quality numbers are printed; criterion times the runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infopipes::{BufferSpec, ClockedPump, FreePump, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+use media::{DecodeCost, Decoder, DisplaySink, GopStructure, MpegFileSource};
+use std::time::Duration;
+
+const FRAMES: u64 = 90;
+const FPS: f64 = 30.0;
+
+fn run(buffered: bool) -> (usize, f64) {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let result = {
+        let pipeline = Pipeline::new(&kernel, "jitter");
+        let source = pipeline.add_producer(
+            "mpeg-file",
+            MpegFileSource::new(GopStructure::ibbp(), FRAMES, FPS, 4000, 7),
+        );
+        let decode = pipeline.add_consumer(
+            "decode",
+            Decoder::new(
+                GopStructure::ibbp(),
+                DecodeCost {
+                    base: Duration::from_millis(2),
+                    per_kilobyte: Duration::from_millis(4),
+                },
+            ),
+        );
+        let (display, stats) = DisplaySink::new();
+        let sink = pipeline.add_consumer("display", display);
+        if buffered {
+            let pump_in = pipeline.add_pump("pump-in", FreePump::new());
+            let buf = pipeline.add_buffer_with("jitter-buf", BufferSpec::bounded(16));
+            let pump_out = pipeline.add_pump("pump-out", ClockedPump::hz(FPS));
+            let _ = source >> decode >> pump_in >> buf >> pump_out >> sink;
+        } else {
+            let pump = pipeline.add_pump("pump", FreePump::new());
+            let _ = source >> decode >> pump >> sink;
+        }
+        let running = pipeline.start().expect("plan");
+        running.start_flow().expect("start");
+        running.wait_quiescent();
+        let s = stats.lock();
+        (s.count(), s.timing.jitter_us().unwrap_or(0.0))
+    };
+    kernel.shutdown();
+    result
+}
+
+fn bench_jitter(c: &mut Criterion) {
+    for (label, buffered) in [("unbuffered", false), ("jitter-buffered", true)] {
+        let (frames, jitter) = run(buffered);
+        println!("{label}: {frames} frames, presentation jitter {jitter:.1} us");
+    }
+    let mut group = c.benchmark_group("jitter_buffer");
+    group.sample_size(10);
+    for (label, buffered) in [("unbuffered", false), ("buffered", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &buffered, |b, &buf| {
+            b.iter(|| run(buf));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jitter);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1 — §4's quantitative claim: "A context switch between the user level
+//! threads takes about 1 µs; the time for a mere function call is two
+//! orders of magnitude shorter. Hence … threads and coroutines are
+//! introduced only when necessary."
+//!
+//! * `context_switch`: one synchronous hand-off between two kernel
+//!   threads (half a ping-pong round trip).
+//! * `direct_function_call`: one item moved through a directly-called
+//!   function stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infopipes::helpers::IdentityFn;
+use infopipes::{Function, Item};
+use mbthread::{Ctx, Envelope, Flow, Kernel, KernelConfig, Message, Tag};
+use std::hint::black_box;
+use std::time::Instant;
+
+const PING: Tag = Tag(1);
+
+fn bench_context_switch(c: &mut Criterion) {
+    let kernel = Kernel::new(KernelConfig::default());
+    let echo = kernel
+        .spawn("echo", |ctx: &mut Ctx<'_>, env: Envelope| {
+            let _ = ctx.reply(&env, Message::signal(PING));
+            Flow::Continue
+        })
+        .expect("spawn");
+    let port = kernel.external("bench");
+
+    c.bench_function("context_switch", |b| {
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let _ = black_box(port.send_sync(echo, Message::signal(PING)));
+            }
+            // A round trip is two hand-offs (to the echo thread and back).
+            start.elapsed() / 2
+        });
+    });
+    kernel.shutdown();
+}
+
+fn bench_function_call(c: &mut Criterion) {
+    // The direct-call path the planner prefers: a boxed dyn Function
+    // invocation, exactly what one stage costs inside a section.
+    let mut stage: Box<dyn Function> = Box::new(IdentityFn::new("f"));
+    c.bench_function("direct_function_call", |b| {
+        b.iter(|| {
+            let item = Item::new(black_box(42u64));
+            black_box(stage.convert(item))
+        });
+    });
+}
+
+criterion_group!(benches, bench_context_switch, bench_function_call);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E9 — §2.3: the cost of Typespec processing. Composition-time
+//! type checking must be cheap enough to run on every connect; this bench
+//! measures spec intersection and chain checking as pipelines grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use typespec::{
+    check_chain, check_connection, IdentityTransform, Polarity, QosKey, QosRange, Typespec,
+};
+
+fn rich_spec() -> Typespec {
+    Typespec::of::<u64>()
+        .with_qos(QosKey::FrameRateHz, QosRange::new(1.0, 60.0))
+        .with_qos(QosKey::LatencyMs, QosRange::at_most(100.0))
+        .with_qos(QosKey::JitterMs, QosRange::at_most(5.0))
+        .with_qos(QosKey::BandwidthBps, QosRange::at_most(1e9))
+        .offering_event("window-resize")
+        .offering_event("frame-release")
+        .with_prop("codec", "synthetic-mpeg")
+        .at_location("producer")
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let a = rich_spec();
+    let b = rich_spec().with_qos(QosKey::FrameRateHz, QosRange::at_most(30.0));
+    c.bench_function("typespec_intersect", |bch| {
+        bch.iter(|| black_box(black_box(&a).intersect(black_box(&b))));
+    });
+}
+
+fn bench_connection(c: &mut Criterion) {
+    let offered = rich_spec();
+    let accepted = rich_spec().with_qos(QosKey::FrameRateHz, QosRange::at_most(30.0));
+    c.bench_function("typespec_check_connection", |bch| {
+        bch.iter(|| {
+            black_box(check_connection(
+                black_box(&offered),
+                Polarity::Positive,
+                black_box(&accepted),
+                Polarity::Polymorphic,
+            ))
+        });
+    });
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typespec_check_chain");
+    for len in [2usize, 8, 32, 64] {
+        let source = rich_spec();
+        let accepts: Vec<Typespec> = (0..len).map(|_| rich_spec()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bch, _| {
+            bch.iter(|| {
+                let stages: Vec<(&Typespec, &dyn typespec::SpecTransform)> = accepts
+                    .iter()
+                    .map(|a| (a, &IdentityTransform as &dyn typespec::SpecTransform))
+                    .collect();
+                black_box(check_chain(black_box(&source), &stages))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect, bench_connection, bench_chain);
+criterion_main!(benches);

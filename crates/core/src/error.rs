@@ -1,0 +1,137 @@
+//! Errors raised while composing, planning, or running a pipeline.
+
+use crate::graph::NodeId;
+use std::error::Error;
+use std::fmt;
+use typespec::TypeError;
+
+/// Why a pipeline could not be composed or started.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipeError {
+    /// A connection or flow check failed (polarity clash, item type or QoS
+    /// mismatch).
+    Type(TypeError),
+    /// A port was connected twice or a node's port arity was exceeded.
+    PortInUse {
+        /// The node whose port is already taken.
+        node: NodeId,
+        /// A description of the port ("in", "out", "out[2]" ...).
+        port: String,
+    },
+    /// A section (a region between buffers) has no pump or active endpoint
+    /// to drive it.
+    NoActivity {
+        /// Names of the components in the undriven section.
+        section: Vec<String>,
+    },
+    /// A section has more than one pump or active endpoint, so its timing
+    /// would be controlled twice.
+    MultipleActivity {
+        /// Names of the competing activity owners.
+        owners: Vec<String>,
+    },
+    /// A routing or multicast tee sits upstream of its section's pump; the
+    /// paper's pull-mode switch problem (§3.3) — a pull would have to
+    /// buffer requests and items unpredictably, so the planner rejects it.
+    TeeInPullPath {
+        /// The offending tee's name.
+        tee: String,
+    },
+    /// A node is not connected to the rest of the pipeline as required
+    /// (e.g. a pump missing its input or output).
+    Dangling {
+        /// The unconnected node.
+        node: String,
+        /// What is missing.
+        missing: String,
+    },
+    /// The pipeline was already started.
+    AlreadyStarted,
+    /// The pipeline has no nodes.
+    Empty,
+    /// The kernel rejected an operation (usually: it is shutting down).
+    Kernel(String),
+}
+
+impl fmt::Display for PipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeError::Type(e) => write!(f, "flow type error: {e}"),
+            PipeError::PortInUse { node, port } => {
+                write!(f, "port {port} of node {node:?} is already connected")
+            }
+            PipeError::NoActivity { section } => write!(
+                f,
+                "no pump or active endpoint drives the section [{}]",
+                section.join(", ")
+            ),
+            PipeError::MultipleActivity { owners } => write!(
+                f,
+                "section has multiple activity owners without an intervening buffer: [{}]",
+                owners.join(", ")
+            ),
+            PipeError::TeeInPullPath { tee } => write!(
+                f,
+                "tee '{tee}' cannot operate in pull mode (it would need \
+                 unbounded implicit buffering); place it downstream of a pump"
+            ),
+            PipeError::Dangling { node, missing } => {
+                write!(f, "node '{node}' is missing {missing}")
+            }
+            PipeError::AlreadyStarted => write!(f, "pipeline was already started"),
+            PipeError::Empty => write!(f, "pipeline has no components"),
+            PipeError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+        }
+    }
+}
+
+impl Error for PipeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipeError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for PipeError {
+    fn from(e: TypeError) -> Self {
+        PipeError::Type(e)
+    }
+}
+
+impl From<mbthread::KernelError> for PipeError {
+    fn from(e: mbthread::KernelError) -> Self {
+        PipeError::Kernel(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PipeError::NoActivity {
+            section: vec!["decoder".into(), "display".into()],
+        };
+        assert!(e.to_string().contains("decoder"));
+        let e = PipeError::MultipleActivity {
+            owners: vec!["pump-a".into(), "pump-b".into()],
+        };
+        assert!(e.to_string().contains("pump-b"));
+        assert!(PipeError::TeeInPullPath { tee: "t".into() }
+            .to_string()
+            .contains("pull mode"));
+        assert!(!PipeError::AlreadyStarted.to_string().is_empty());
+        assert!(!PipeError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn type_errors_convert_and_chain() {
+        let te = TypeError::Rejected("x".into());
+        let pe = PipeError::from(te.clone());
+        assert_eq!(pe, PipeError::Type(te));
+        assert!(pe.source().is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Information items: the type-erased data units flowing through a
+//! pipeline.
+
+use mbthread::Time;
+use std::any::Any;
+use std::fmt;
+
+/// Metadata travelling with every item.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Meta {
+    /// Sequence number assigned by the producer.
+    pub seq: u64,
+    /// Kernel timestamp of when the item entered the pipeline.
+    pub ts: Time,
+}
+
+type Cloner = fn(&(dyn Any + Send)) -> Option<Box<dyn Any + Send>>;
+
+/// A single unit of information flowing through an Infopipe: a type-erased
+/// payload plus [`Meta`].
+///
+/// The engine is dynamically typed: connections are checked at composition
+/// time against [`Typespec`](typespec::Typespec) item types (which carry
+/// `TypeId`s), so a well-typed pipeline never sees a failing downcast.
+///
+/// Items created with [`Item::cloneable`] can be duplicated by multicast
+/// tees; items created with [`Item::new`] cannot.
+pub struct Item {
+    payload: Box<dyn Any + Send>,
+    cloner: Option<Cloner>,
+    /// Metadata travelling with the payload.
+    pub meta: Meta,
+}
+
+impl Item {
+    /// Wraps a payload that need not be cloneable.
+    #[must_use]
+    pub fn new<T: Any + Send>(payload: T) -> Item {
+        Item {
+            payload: Box::new(payload),
+            cloner: None,
+            meta: Meta::default(),
+        }
+    }
+
+    /// Wraps a cloneable payload, enabling multicast tees to duplicate the
+    /// item.
+    #[must_use]
+    pub fn cloneable<T: Any + Send + Clone>(payload: T) -> Item {
+        fn clone_impl<T: Any + Send + Clone>(p: &(dyn Any + Send)) -> Option<Box<dyn Any + Send>> {
+            p.downcast_ref::<T>()
+                .map(|v| Box::new(v.clone()) as Box<dyn Any + Send>)
+        }
+        Item {
+            payload: Box::new(payload),
+            cloner: Some(clone_impl::<T>),
+            meta: Meta::default(),
+        }
+    }
+
+    /// Sets the sequence number, builder style.
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Item {
+        self.meta.seq = seq;
+        self
+    }
+
+    /// Sets the timestamp, builder style.
+    #[must_use]
+    pub fn with_ts(mut self, ts: Time) -> Item {
+        self.meta.ts = ts;
+        self
+    }
+
+    /// Whether the payload is a `T`.
+    #[must_use]
+    pub fn is<T: Any>(&self) -> bool {
+        self.payload.is::<T>()
+    }
+
+    /// Borrows the payload as `T`.
+    #[must_use]
+    pub fn payload_ref<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the payload as `T`.
+    #[must_use]
+    pub fn payload_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.payload.downcast_mut::<T>()
+    }
+
+    /// Consumes the item, extracting the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item unchanged if the payload is not a `T`.
+    pub fn into_payload<T: Any>(self) -> Result<(T, Meta), Item> {
+        let meta = self.meta;
+        let cloner = self.cloner;
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok((*b, meta)),
+            Err(payload) => Err(Item {
+                payload,
+                cloner,
+                meta,
+            }),
+        }
+    }
+
+    /// Consumes the item, extracting the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not a `T` — use [`Item::into_payload`] for
+    /// a fallible extraction. In a type-checked pipeline this indicates a
+    /// component lied in its Typespec.
+    #[must_use]
+    #[track_caller]
+    pub fn expect<T: Any>(self) -> T {
+        match self.into_payload::<T>() {
+            Ok((v, _)) => v,
+            Err(_) => panic!(
+                "item payload is not a {}; a component's Typespec is wrong",
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Whether this item supports duplication.
+    #[must_use]
+    pub fn is_cloneable(&self) -> bool {
+        self.cloner.is_some()
+    }
+
+    /// Duplicates the item (payload, meta, and cloneability); `None` if the
+    /// payload was wrapped with [`Item::new`].
+    #[must_use]
+    pub fn try_clone(&self) -> Option<Item> {
+        let cloner = self.cloner?;
+        let payload = cloner(self.payload.as_ref())?;
+        Some(Item {
+            payload,
+            cloner: self.cloner,
+            meta: self.meta,
+        })
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Item")
+            .field("seq", &self.meta.seq)
+            .field("ts", &self.meta.ts)
+            .field("cloneable", &self.is_cloneable())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trip() {
+        let mut item = Item::new(vec![1u8, 2, 3]).with_seq(7);
+        assert!(item.is::<Vec<u8>>());
+        assert_eq!(item.payload_ref::<Vec<u8>>().unwrap().len(), 3);
+        item.payload_mut::<Vec<u8>>().unwrap().push(4);
+        let (v, meta) = item.into_payload::<Vec<u8>>().unwrap();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        assert_eq!(meta.seq, 7);
+    }
+
+    #[test]
+    fn into_payload_recovers_on_mismatch() {
+        let item = Item::new(5u32).with_seq(9);
+        let item = item.into_payload::<String>().unwrap_err();
+        assert_eq!(item.meta.seq, 9);
+        assert_eq!(item.expect::<u32>(), 5);
+    }
+
+    #[test]
+    fn cloneable_items_duplicate_with_meta() {
+        let item = Item::cloneable(String::from("x")).with_seq(3).with_ts(Time::from_millis(2));
+        assert!(item.is_cloneable());
+        let dup = item.try_clone().unwrap();
+        assert_eq!(dup.meta, item.meta);
+        assert_eq!(dup.expect::<String>(), "x");
+        // The duplicate is itself cloneable.
+        let item2 = Item::cloneable(1u8);
+        let dup2 = item2.try_clone().unwrap();
+        assert!(dup2.is_cloneable());
+    }
+
+    #[test]
+    fn plain_items_refuse_to_clone() {
+        let item = Item::new(5u32);
+        assert!(!item.is_cloneable());
+        assert!(item.try_clone().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "Typespec is wrong")]
+    fn expect_panics_with_diagnosis() {
+        let _ = Item::new(1u8).expect::<u16>();
+    }
+}

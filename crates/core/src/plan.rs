@@ -1,0 +1,762 @@
+//! The section planner: decides which parts of a pipeline need separate
+//! threads or coroutines (§3.3, Fig. 9).
+//!
+//! A pipeline is cut at its **passive boundaries** (buffers and passive
+//! endpoints) into *sections*. Each section must contain exactly one
+//! **activity owner** — a pump, an active source, or an active sink — whose
+//! thread operates every stage in the section. Stages upstream of the owner
+//! run in *pull mode*, stages downstream in *push mode*. A stage is invoked
+//! by **direct function calls** when its style matches its mode:
+//!
+//! | style     | pull mode  | push mode  |
+//! |-----------|------------|------------|
+//! | producer  | direct     | coroutine  |
+//! | consumer  | coroutine  | direct     |
+//! | function  | direct     | direct     |
+//! | active    | coroutine  | coroutine  |
+//!
+//! Everything else gets a **coroutine**: an extra kernel thread in the
+//! owner's coroutine set, interacting synchronously so that activity
+//! travels with the data (Fig. 5). For the paper's Fig. 9 configurations
+//! this yields exactly 1 thread for a/b/c, 2 for d/g/h, and 3 for e/f —
+//! verified by this module's tests and by the `fig9_configs` benchmark.
+
+use crate::buffer::BufHandle;
+use crate::error::PipeError;
+use crate::graph::{GraphInner, NodeId, NodeKind};
+use crate::pump::Pump;
+use crate::stage::{ActiveObject, Style};
+use crate::tee::SplitKind;
+use std::collections::BTreeSet;
+use typespec::Typespec;
+
+/// The direction a stage operates in, relative to its section's owner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Upstream of the owner: items are pulled through the stage.
+    Pull,
+    /// Downstream of the owner: items are pushed through the stage.
+    Push,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::Pull => "pull",
+            Mode::Push => "push",
+        })
+    }
+}
+
+/// How a stage is invoked at runtime.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Exec {
+    /// Plain function calls on the owner's (or enclosing coroutine's)
+    /// thread.
+    Direct,
+    /// A coroutine: an extra thread in the section's coroutine set.
+    Coroutine,
+}
+
+impl std::fmt::Display for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Exec::Direct => "direct",
+            Exec::Coroutine => "coroutine",
+        })
+    }
+}
+
+/// Decides how a stage of the given style is executed in the given mode —
+/// the core of thread transparency.
+#[must_use]
+pub fn exec_for(style_name: &str, mode: Mode) -> Exec {
+    match (style_name, mode) {
+        ("function", _) | ("producer", Mode::Pull) | ("consumer", Mode::Push) => Exec::Direct,
+        _ => Exec::Coroutine,
+    }
+}
+
+/// One stage's placement in the plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StagePlacement {
+    /// Component name.
+    pub name: String,
+    /// Activity style ("consumer", "producer", "function", "active").
+    pub style: String,
+    /// Pull or push mode.
+    pub mode: Mode,
+    /// Direct call or coroutine.
+    pub exec: Exec,
+}
+
+/// One section's thread/coroutine allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionReport {
+    /// Name of the activity owner (pump or active endpoint).
+    pub owner: String,
+    /// What owns the activity: "pump", "active-source", or "active-sink".
+    pub owner_kind: String,
+    /// Placement of every stage in the section.
+    pub stages: Vec<StagePlacement>,
+    /// Number of coroutines allocated (extra threads beyond the owner's).
+    pub coroutines: usize,
+}
+
+impl SectionReport {
+    /// Total kernel threads for this section (owner + coroutines).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        1 + self.coroutines
+    }
+}
+
+/// The planner's public summary: what the middleware allocated and why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanReport {
+    /// One entry per section.
+    pub sections: Vec<SectionReport>,
+}
+
+impl PlanReport {
+    /// Total kernel threads allocated for the pipeline.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.sections.iter().map(SectionReport::threads).sum()
+    }
+
+    /// Total coroutines allocated.
+    #[must_use]
+    pub fn total_coroutines(&self) -> usize {
+        self.sections.iter().map(|s| s.coroutines).sum()
+    }
+}
+
+impl std::fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.sections.iter().enumerate() {
+            writeln!(
+                f,
+                "section {i}: owner {} ({}), {} thread(s)",
+                s.owner,
+                s.owner_kind,
+                s.threads()
+            )?;
+            for p in &s.stages {
+                writeln!(f, "  {:24} {:8} {} {}", p.name, p.style, p.mode, p.exec)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Build structures handed to the runtime
+// ---------------------------------------------------------------------
+
+/// The upstream (pull-side) chain of a thread, innermost-first.
+pub(crate) enum PullBuild {
+    /// A directly-called stage; `up` continues toward the boundary.
+    Stage {
+        id: NodeId,
+        style: Style,
+        up: Box<PullBuild>,
+    },
+    /// A coroutine stage: spawned on its own thread together with
+    /// everything further upstream.
+    Coroutine {
+        id: NodeId,
+        style: Style,
+        up: Box<PullBuild>,
+    },
+    /// The chain starts at a buffer.
+    Buffer { handle: BufHandle },
+    /// The chain started at a source endpoint stage (already included as a
+    /// `Stage`/`Coroutine` entry); nothing further upstream.
+    Origin,
+}
+
+/// The downstream (push-side) tree of a thread.
+pub(crate) enum PushBuild {
+    Stage {
+        id: NodeId,
+        style: Style,
+        down: Box<PushBuild>,
+    },
+    Coroutine {
+        id: NodeId,
+        style: Style,
+        down: Box<PushBuild>,
+    },
+    Split {
+        id: NodeId,
+        kind: SplitKind,
+        branches: Vec<PushBuild>,
+    },
+    Buffer {
+        handle: BufHandle,
+    },
+    /// The tree ended at a sink endpoint stage; nothing further down.
+    End,
+}
+
+/// Who owns a section's activity.
+pub(crate) enum OwnerBuild {
+    Pump { pump: Box<dyn Pump> },
+    ActiveSource { id: NodeId, stage: Box<dyn ActiveObject> },
+    ActiveSink { id: NodeId, stage: Box<dyn ActiveObject> },
+}
+
+pub(crate) struct SectionBuild {
+    pub(crate) name: String,
+    pub(crate) owner: OwnerBuild,
+    pub(crate) up: PullBuild,
+    pub(crate) down: PushBuild,
+}
+
+pub(crate) struct Plan {
+    pub(crate) sections: Vec<SectionBuild>,
+    pub(crate) report: PlanReport,
+    /// Buffers by node, for probes and end-of-stream propagation.
+    pub(crate) buffers: Vec<(NodeId, BufHandle)>,
+}
+
+// ---------------------------------------------------------------------
+// Flow spec propagation (Typespec queries and start-time checking)
+// ---------------------------------------------------------------------
+
+/// Computes the spec of the flow offered at a node's output by threading
+/// Typespecs from the sources through every transformation (§2.3).
+pub(crate) fn flow_spec_at(g: &GraphInner, id: NodeId) -> Result<Typespec, PipeError> {
+    let mut visiting = BTreeSet::new();
+    flow_spec_rec(g, id, &mut visiting)
+}
+
+fn flow_spec_rec(
+    g: &GraphInner,
+    id: NodeId,
+    visiting: &mut BTreeSet<NodeId>,
+) -> Result<Typespec, PipeError> {
+    if !visiting.insert(id) {
+        return Err(PipeError::Type(typespec::TypeError::Rejected(format!(
+            "pipeline graph contains a cycle through '{}'",
+            g.node(id).name
+        ))));
+    }
+    let result = (|| {
+        let preds: Vec<NodeId> = g.in_edges(id).map(|e| e.from).collect();
+        match g.node(id).kind.as_ref() {
+            None => Err(PipeError::AlreadyStarted),
+            Some(NodeKind::Stage(style)) => {
+                if preds.is_empty() {
+                    // A source: it offers its own spec.
+                    Ok(style.offers())
+                } else {
+                    let upstream = flow_spec_rec(g, preds[0], visiting)?;
+                    let agreed = upstream.intersect(&style.accepts())?;
+                    style.transform_spec(&agreed).map_err(PipeError::Type)
+                }
+            }
+            Some(NodeKind::Pump(_) | NodeKind::Split(_)) => {
+                if preds.is_empty() {
+                    Err(PipeError::Dangling {
+                        node: g.node(id).name.clone(),
+                        missing: "an input connection".into(),
+                    })
+                } else {
+                    flow_spec_rec(g, preds[0], visiting)
+                }
+            }
+            Some(NodeKind::Buffer(_)) => {
+                // Merge point: all incoming flows must agree; an unfed
+                // buffer (inbox) offers an unconstrained flow.
+                let mut spec = Typespec::new();
+                for p in preds {
+                    let up = flow_spec_rec(g, p, visiting)?;
+                    spec = spec.intersect(&up)?;
+                }
+                Ok(spec)
+            }
+        }
+    })();
+    visiting.remove(&id);
+    result
+}
+
+// ---------------------------------------------------------------------
+// The planner
+// ---------------------------------------------------------------------
+
+fn is_boundary(g: &GraphInner, id: NodeId) -> bool {
+    matches!(g.node(id).kind.as_ref(), Some(NodeKind::Buffer(_)))
+}
+
+fn style_name_of(g: &GraphInner, id: NodeId) -> &'static str {
+    match g.node(id).kind.as_ref() {
+        Some(NodeKind::Stage(s)) => match s {
+            Style::Consumer(_) => "consumer",
+            Style::Producer(_) => "producer",
+            Style::Function(_) => "function",
+            Style::Active(_) => "active",
+        },
+        _ => "?",
+    }
+}
+
+/// Whether a node can own its section's activity.
+fn owner_kind(g: &GraphInner, id: NodeId) -> Option<&'static str> {
+    match g.node(id).kind.as_ref() {
+        Some(NodeKind::Pump(_)) => Some("pump"),
+        Some(NodeKind::Stage(Style::Active(_))) => {
+            let source = g.in_edges(id).next().is_none();
+            let sink = g.out_edges(id).next().is_none();
+            if source {
+                Some("active-source")
+            } else if sink {
+                Some("active-sink")
+            } else {
+                None // an active intermediate is a coroutine, not an owner
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Validates the graph and produces the build plan, consuming the node
+/// implementations.
+pub(crate) fn plan(g: &mut GraphInner) -> Result<Plan, PipeError> {
+    if g.nodes.is_empty() {
+        return Err(PipeError::Empty);
+    }
+    validate_arity(g)?;
+    // Flow-spec check over the whole graph (every terminal node pulls the
+    // check through its ancestry).
+    for id in (0..g.nodes.len()).map(NodeId) {
+        if g.out_edges(id).next().is_none() {
+            let _ = flow_spec_at(g, id)?;
+        }
+    }
+
+    // Partition non-buffer nodes into sections (connected regions of the
+    // graph with buffer-incident edges removed).
+    let section_ids = partition_sections(g);
+
+    let mut sections = Vec::new();
+    let mut report = PlanReport::default();
+    for ids in &section_ids {
+        let (build, rep) = plan_section(g, ids)?;
+        sections.push(build);
+        report.sections.push(rep);
+    }
+
+    // Collect buffer handles (still present in the graph) and teach each
+    // buffer how many writers feed it, so merge points only report end of
+    // stream when every input has finished.
+    let mut buffers = Vec::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        let id = NodeId(i);
+        if let Some(NodeKind::Buffer(h)) = node.kind.as_ref() {
+            let in_edges = g.in_edges(id).count();
+            let external = usize::from(h.has_external_writer());
+            h.set_writer_count(in_edges + external);
+            buffers.push((id, h.clone()));
+        }
+    }
+
+    Ok(Plan {
+        sections,
+        report,
+        buffers,
+    })
+}
+
+fn validate_arity(g: &GraphInner) -> Result<(), PipeError> {
+    for (i, node) in g.nodes.iter().enumerate() {
+        let id = NodeId(i);
+        let ins = g.in_edges(id).count();
+        let outs = g.out_edges(id).count();
+        match node.kind.as_ref() {
+            Some(NodeKind::Pump(_)) => {
+                if ins != 1 {
+                    return Err(PipeError::Dangling {
+                        node: node.name.clone(),
+                        missing: "an upstream connection (pumps pull from upstream)".into(),
+                    });
+                }
+                if outs != 1 {
+                    return Err(PipeError::Dangling {
+                        node: node.name.clone(),
+                        missing: "a downstream connection (pumps push downstream)".into(),
+                    });
+                }
+            }
+            Some(NodeKind::Split(_)) => {
+                if ins != 1 {
+                    return Err(PipeError::Dangling {
+                        node: node.name.clone(),
+                        missing: "an input connection".into(),
+                    });
+                }
+                if outs < 2 {
+                    return Err(PipeError::Dangling {
+                        node: node.name.clone(),
+                        missing: "at least two output branches".into(),
+                    });
+                }
+            }
+            Some(NodeKind::Stage(_)) => {
+                if ins == 0 && outs == 0 && g.nodes.len() > 1 {
+                    return Err(PipeError::Dangling {
+                        node: node.name.clone(),
+                        missing: "any connection".into(),
+                    });
+                }
+            }
+            Some(NodeKind::Buffer(_)) | None => {}
+        }
+    }
+    Ok(())
+}
+
+fn partition_sections(g: &GraphInner) -> Vec<Vec<NodeId>> {
+    let n = g.nodes.len();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        let id = NodeId(start);
+        if seen[start] || is_boundary(g, id) {
+            continue;
+        }
+        // BFS over non-boundary nodes.
+        let mut component = Vec::new();
+        let mut queue = vec![id];
+        seen[start] = true;
+        while let Some(cur) = queue.pop() {
+            component.push(cur);
+            for e in g.edges.iter() {
+                let next = if e.from == cur {
+                    e.to
+                } else if e.to == cur {
+                    e.from
+                } else {
+                    continue;
+                };
+                if !seen[next.0] && !is_boundary(g, next) {
+                    seen[next.0] = true;
+                    queue.push(next);
+                }
+            }
+        }
+        component.sort();
+        out.push(component);
+    }
+    out
+}
+
+fn take_style(g: &mut GraphInner, id: NodeId) -> Style {
+    match g.nodes[id.0].kind.take() {
+        Some(NodeKind::Stage(s)) => s,
+        other => unreachable!("expected stage at {id}, found {:?}", other.map(|k| k.kind_name())),
+    }
+}
+
+fn plan_section(
+    g: &mut GraphInner,
+    ids: &[NodeId],
+) -> Result<(SectionBuild, SectionReport), PipeError> {
+    // Identify the activity owner.
+    let owners: Vec<(NodeId, &'static str)> = ids
+        .iter()
+        .filter_map(|&id| owner_kind(g, id).map(|k| (id, k)))
+        .collect();
+    if owners.is_empty() {
+        return Err(PipeError::NoActivity {
+            section: ids.iter().map(|&id| g.node(id).name.clone()).collect(),
+        });
+    }
+    if owners.len() > 1 {
+        return Err(PipeError::MultipleActivity {
+            owners: owners
+                .iter()
+                .map(|&(id, _)| g.node(id).name.clone())
+                .collect(),
+        });
+    }
+    let (owner_id, okind) = owners[0];
+    let owner_name = g.node(owner_id).name.clone();
+
+    let mut placements = Vec::new();
+    let mut coroutines = 0usize;
+
+    // ---- upstream (pull side) ----
+    let up_start = match okind {
+        "active-source" => None,
+        _ => g.in_edges(owner_id).next().map(|e| e.from),
+    };
+    let up = build_pull(g, up_start, &mut placements, &mut coroutines)?;
+
+    // ---- downstream (push side) ----
+    let down_start = match okind {
+        "active-sink" => None,
+        _ => g.out_edges(owner_id).next().map(|e| e.to),
+    };
+    let down = match down_start {
+        None => PushBuild::End,
+        Some(first) => build_push(g, first, &mut placements, &mut coroutines)?,
+    };
+
+    // ---- the owner itself ----
+    let owner = match g.nodes[owner_id.0].kind.take() {
+        Some(NodeKind::Pump(p)) => OwnerBuild::Pump { pump: p },
+        Some(NodeKind::Stage(Style::Active(a))) => {
+            if okind == "active-source" {
+                OwnerBuild::ActiveSource {
+                    id: owner_id,
+                    stage: a,
+                }
+            } else {
+                OwnerBuild::ActiveSink {
+                    id: owner_id,
+                    stage: a,
+                }
+            }
+        }
+        other => unreachable!(
+            "owner {owner_id} is not a pump or active endpoint: {:?}",
+            other.map(|k| k.kind_name())
+        ),
+    };
+
+    let report = SectionReport {
+        owner: owner_name.clone(),
+        owner_kind: okind.to_owned(),
+        stages: placements,
+        coroutines,
+    };
+    Ok((
+        SectionBuild {
+            name: owner_name,
+            owner,
+            up,
+            down,
+        },
+        report,
+    ))
+}
+
+/// Builds the pull-side chain starting at `start` (the node immediately
+/// upstream of the owner) and walking to the boundary.
+fn build_pull(
+    g: &mut GraphInner,
+    start: Option<NodeId>,
+    placements: &mut Vec<StagePlacement>,
+    coroutines: &mut usize,
+) -> Result<PullBuild, PipeError> {
+    let Some(first) = start else {
+        return Ok(PullBuild::Origin);
+    };
+    // Collect the chain owner-adjacent first.
+    let mut chain = Vec::new();
+    let mut cur = Some(first);
+    let mut terminator = PullBuild::Origin;
+    while let Some(id) = cur {
+        match g.node(id).kind.as_ref() {
+            Some(NodeKind::Buffer(h)) => {
+                terminator = PullBuild::Buffer { handle: h.clone() };
+                break;
+            }
+            Some(NodeKind::Split(_)) => {
+                return Err(PipeError::TeeInPullPath {
+                    tee: g.node(id).name.clone(),
+                });
+            }
+            Some(NodeKind::Stage(_)) => {
+                chain.push(id);
+                cur = g.in_edges(id).next().map(|e| e.from);
+            }
+            Some(NodeKind::Pump(_)) => {
+                unreachable!("second pump in section should have been caught")
+            }
+            None => return Err(PipeError::AlreadyStarted),
+        }
+    }
+    // Fold from the boundary inward.
+    let mut built = terminator;
+    for &id in chain.iter().rev() {
+        let sname = style_name_of(g, id);
+        let exec = exec_for(sname, Mode::Pull);
+        let name = g.node(id).name.clone();
+        let style = take_style(g, id);
+        built = match exec {
+            Exec::Direct => PullBuild::Stage {
+                id,
+                style,
+                up: Box::new(built),
+            },
+            Exec::Coroutine => {
+                *coroutines += 1;
+                PullBuild::Coroutine {
+                    id,
+                    style,
+                    up: Box::new(built),
+                }
+            }
+        };
+        placements.push(StagePlacement {
+            name,
+            style: sname.to_owned(),
+            mode: Mode::Pull,
+            exec,
+        });
+    }
+    // Placements read more naturally source-to-owner.
+    placements.reverse();
+    Ok(built)
+}
+
+/// Builds the push-side tree rooted at `start` (the node immediately
+/// downstream of the owner).
+fn build_push(
+    g: &mut GraphInner,
+    id: NodeId,
+    placements: &mut Vec<StagePlacement>,
+    coroutines: &mut usize,
+) -> Result<PushBuild, PipeError> {
+    match g.node(id).kind.as_ref() {
+        Some(NodeKind::Buffer(h)) => Ok(PushBuild::Buffer { handle: h.clone() }),
+        Some(NodeKind::Split(_)) => {
+            let branch_heads: Vec<NodeId> = g.out_edges(id).map(|e| e.to).collect();
+            let name = g.node(id).name.clone();
+            let kind = match g.nodes[id.0].kind.take() {
+                Some(NodeKind::Split(k)) => k,
+                _ => unreachable!("split checked above"),
+            };
+            placements.push(StagePlacement {
+                name,
+                style: kind.kind_name().to_owned(),
+                mode: Mode::Push,
+                exec: Exec::Direct,
+            });
+            let mut branches = Vec::new();
+            for head in branch_heads {
+                branches.push(build_push(g, head, placements, coroutines)?);
+            }
+            Ok(PushBuild::Split { id, kind, branches })
+        }
+        Some(NodeKind::Stage(_)) => {
+            let sname = style_name_of(g, id);
+            let exec = exec_for(sname, Mode::Push);
+            let name = g.node(id).name.clone();
+            placements.push(StagePlacement {
+                name,
+                style: sname.to_owned(),
+                mode: Mode::Push,
+                exec,
+            });
+            let next = g.out_edges(id).next().map(|e| e.to);
+            let style = take_style(g, id);
+            let down = match next {
+                None => PushBuild::End,
+                Some(n) => build_push(g, n, placements, coroutines)?,
+            };
+            match exec {
+                Exec::Direct => Ok(PushBuild::Stage {
+                    id,
+                    style,
+                    down: Box::new(down),
+                }),
+                Exec::Coroutine => {
+                    *coroutines += 1;
+                    Ok(PushBuild::Coroutine {
+                        id,
+                        style,
+                        down: Box::new(down),
+                    })
+                }
+            }
+        }
+        Some(NodeKind::Pump(_)) => unreachable!("second pump in section should have been caught"),
+        None => Err(PipeError::AlreadyStarted),
+    }
+}
+
+/// Computes each stage's nearest stage neighbours (skipping pumps,
+/// buffers, and tees), for adjacent-component control events (§2.2).
+pub(crate) fn compute_neighbors(
+    g: &GraphInner,
+) -> std::collections::HashMap<NodeId, (Option<NodeId>, Vec<NodeId>)> {
+    fn nearest_up(g: &GraphInner, from: NodeId) -> Option<NodeId> {
+        let mut cur = g.in_edges(from).next()?.from;
+        loop {
+            if matches!(g.node(cur).kind.as_ref(), Some(NodeKind::Stage(_))) {
+                return Some(cur);
+            }
+            cur = g.in_edges(cur).next()?.from;
+        }
+    }
+    fn nearest_down(g: &GraphInner, from: NodeId, acc: &mut Vec<NodeId>) {
+        for e in g.out_edges(from) {
+            if matches!(g.node(e.to).kind.as_ref(), Some(NodeKind::Stage(_))) {
+                acc.push(e.to);
+            } else {
+                nearest_down(g, e.to, acc);
+            }
+        }
+    }
+    let mut out = std::collections::HashMap::new();
+    for i in 0..g.nodes.len() {
+        let id = NodeId(i);
+        if !matches!(g.node(id).kind.as_ref(), Some(NodeKind::Stage(_))) {
+            continue;
+        }
+        let up = nearest_up(g, id);
+        let mut downs = Vec::new();
+        nearest_down(g, id, &mut downs);
+        out.insert(id, (up, downs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_table_matches_paper() {
+        // Pull mode: producer and function direct, consumer and active
+        // need coroutines.
+        assert_eq!(exec_for("producer", Mode::Pull), Exec::Direct);
+        assert_eq!(exec_for("function", Mode::Pull), Exec::Direct);
+        assert_eq!(exec_for("consumer", Mode::Pull), Exec::Coroutine);
+        assert_eq!(exec_for("active", Mode::Pull), Exec::Coroutine);
+        // Push mode: consumer and function direct, producer and active
+        // need coroutines.
+        assert_eq!(exec_for("consumer", Mode::Push), Exec::Direct);
+        assert_eq!(exec_for("function", Mode::Push), Exec::Direct);
+        assert_eq!(exec_for("producer", Mode::Push), Exec::Coroutine);
+        assert_eq!(exec_for("active", Mode::Push), Exec::Coroutine);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Mode::Pull.to_string(), "pull");
+        assert_eq!(Exec::Coroutine.to_string(), "coroutine");
+        let report = PlanReport {
+            sections: vec![SectionReport {
+                owner: "pump".into(),
+                owner_kind: "pump".into(),
+                stages: vec![StagePlacement {
+                    name: "dec".into(),
+                    style: "function".into(),
+                    mode: Mode::Push,
+                    exec: Exec::Direct,
+                }],
+                coroutines: 0,
+            }],
+        };
+        assert_eq!(report.total_threads(), 1);
+        assert_eq!(report.total_coroutines(), 0);
+        assert!(report.to_string().contains("pump"));
+        assert!(report.to_string().contains("dec"));
+    }
+}

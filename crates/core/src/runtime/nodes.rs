@@ -1,0 +1,345 @@
+//! Direct-call interpretation trees.
+//!
+//! A thread (section owner or coroutine) owns the contiguous run of
+//! directly-callable stages adjacent to it; these trees interpret data
+//! movement through that run. Where the plan placed a coroutine, the tree
+//! holds the coroutine's thread id and the data crosses over as a
+//! synchronous message round-trip — activity travels with the data
+//! (Fig. 5).
+
+use super::coroutine::{spawn_coroutine, CoroSide};
+use super::stagectx::StageCtx;
+use super::{Pulled, PushRes, RtState, Shared};
+use crate::buffer::BufHandle;
+use crate::error::PipeError;
+use crate::events::ControlEvent;
+use crate::graph::NodeId;
+use crate::item::Item;
+use crate::plan::{PullBuild, PushBuild};
+use crate::stage::{Consumer, Function, Producer, Stage, Style};
+use crate::tee::SplitKind;
+use mbthread::{Ctx, Priority, ThreadId};
+use std::sync::Arc;
+
+/// The pull-side (upstream) chain owned by one thread.
+pub(crate) enum PullNode {
+    Producer {
+        id: NodeId,
+        stage: Box<dyn Producer>,
+        up: Box<PullNode>,
+    },
+    Function {
+        id: NodeId,
+        stage: Box<dyn Function>,
+        up: Box<PullNode>,
+    },
+    /// The chain continues on another thread.
+    Coro(ThreadId),
+    Buffer(BufHandle),
+    /// Nothing upstream (the chain began at a source stage).
+    Origin,
+}
+
+impl PullNode {
+    /// Pulls the next item through this chain.
+    pub(crate) fn pull(&mut self, ctx: &mut Ctx<'_>, rt: &mut RtState) -> Pulled {
+        match self {
+            PullNode::Origin => Pulled::Eos,
+            PullNode::Buffer(h) => rt.buffer_take(ctx, h),
+            PullNode::Coro(t) => rt.sync_get(ctx, *t),
+            PullNode::Function { stage, up, .. } => loop {
+                match up.pull(ctx, rt) {
+                    Pulled::Item(x) => {
+                        if let Some(y) = stage.convert(x) {
+                            return Pulled::Item(y);
+                        }
+                        // Dropped: keep pulling — in pull mode a dropping
+                        // filter turns one downstream pull into several
+                        // upstream pulls.
+                    }
+                    other => return other,
+                }
+            },
+            PullNode::Producer { stage, up, .. } => {
+                let mut sctx = StageCtx::pull_position(ctx, rt, up);
+                match stage.pull(&mut sctx) {
+                    Some(item) => Pulled::Item(item),
+                    None => sctx.none_reason(),
+                }
+            }
+        }
+    }
+
+    /// Visits every stage in this thread's chain (not crossing coroutine
+    /// or buffer boundaries).
+    pub(crate) fn for_each_stage(
+        &mut self,
+        f: &mut dyn FnMut(NodeId, &mut dyn Stage),
+    ) {
+        match self {
+            PullNode::Producer { id, stage, up } => {
+                f(*id, stage.as_mut());
+                up.for_each_stage(f);
+            }
+            PullNode::Function { id, stage, up } => {
+                f(*id, stage.as_mut());
+                up.for_each_stage(f);
+            }
+            PullNode::Coro(_) | PullNode::Buffer(_) | PullNode::Origin => {}
+        }
+    }
+
+    /// The nearest upstream buffer reachable without crossing a coroutine,
+    /// for `OnArrival` pump parking.
+    pub(crate) fn nearest_buffer(&self) -> Option<BufHandle> {
+        match self {
+            PullNode::Buffer(h) => Some(h.clone()),
+            PullNode::Producer { up, .. } | PullNode::Function { up, .. } => up.nearest_buffer(),
+            PullNode::Coro(_) | PullNode::Origin => None,
+        }
+    }
+}
+
+/// The push-side (downstream) tree owned by one thread.
+pub(crate) enum PushNode {
+    Consumer {
+        id: NodeId,
+        stage: Box<dyn Consumer>,
+        down: Box<PushNode>,
+    },
+    Function {
+        id: NodeId,
+        stage: Box<dyn Function>,
+        down: Box<PushNode>,
+    },
+    Split {
+        kind: SplitKind,
+        branches: Vec<PushNode>,
+    },
+    Coro(ThreadId),
+    Buffer(BufHandle),
+    /// Nothing downstream (the tree ended at a sink stage).
+    End,
+}
+
+impl PushNode {
+    /// Pushes one item through this tree.
+    pub(crate) fn push(&mut self, ctx: &mut Ctx<'_>, rt: &mut RtState, item: Item) -> PushRes {
+        match self {
+            PushNode::End => PushRes::Ok,
+            PushNode::Buffer(h) => rt.buffer_put(ctx, h, item),
+            PushNode::Coro(t) => rt.sync_put(ctx, *t, item),
+            PushNode::Function { stage, down, .. } => match stage.convert(item) {
+                Some(y) => down.push(ctx, rt, y),
+                None => PushRes::Ok,
+            },
+            PushNode::Consumer { stage, down, .. } => {
+                let mut sctx = StageCtx::push_position(ctx, rt, down);
+                stage.push(&mut sctx, item);
+                sctx.push_status()
+            }
+            PushNode::Split { kind, branches, .. } => match kind {
+                SplitKind::Multicast => {
+                    let mut status = PushRes::Ok;
+                    let last = branches.len() - 1;
+                    // Clones go to all but the last branch, which gets the
+                    // original.
+                    for b in &mut branches[..last] {
+                        let clone = item.try_clone().unwrap_or_else(|| {
+                            panic!(
+                                "multicast tee requires cloneable items \
+                                 (create them with Item::cloneable)"
+                            )
+                        });
+                        if b.push(ctx, rt, clone) == PushRes::Interrupted {
+                            status = PushRes::Interrupted;
+                        }
+                    }
+                    if branches[last].push(ctx, rt, item) == PushRes::Interrupted {
+                        status = PushRes::Interrupted;
+                    }
+                    status
+                }
+                SplitKind::Router(route) => {
+                    let idx = route(&item) % branches.len();
+                    branches[idx].push(ctx, rt, item)
+                }
+            },
+        }
+    }
+
+    /// Visits every stage in this thread's tree.
+    pub(crate) fn for_each_stage(&mut self, f: &mut dyn FnMut(NodeId, &mut dyn Stage)) {
+        match self {
+            PushNode::Consumer { id, stage, down } => {
+                f(*id, stage.as_mut());
+                down.for_each_stage(f);
+            }
+            PushNode::Function { id, stage, down } => {
+                f(*id, stage.as_mut());
+                down.for_each_stage(f);
+            }
+            PushNode::Split { branches, .. } => {
+                for b in branches {
+                    b.for_each_stage(f);
+                }
+            }
+            PushNode::Coro(_) | PushNode::Buffer(_) | PushNode::End => {}
+        }
+    }
+
+    /// Propagates end of stream downstream: marks terminal buffers and
+    /// tells coroutines, so downstream sections drain and stop.
+    pub(crate) fn mark_eos(&mut self, ctx: &mut Ctx<'_>, rt: &mut RtState) {
+        match self {
+            PushNode::End => {}
+            PushNode::Buffer(h) => {
+                let wake = h.mark_eos();
+                rt.send_wakeups(ctx, wake);
+            }
+            PushNode::Coro(t) => {
+                // The coroutine's glue treats a targeted EOS like an
+                // upstream end of stream: it finishes its run and
+                // propagates further down.
+                let _ = *t;
+                // Delivered as a broadcast-priority control message.
+                let msg = mbthread::Message::new(
+                    crate::events::tags::CTRL,
+                    crate::events::EventMsg {
+                        event: ControlEvent::Eos,
+                        target: crate::events::EventTarget::Broadcast,
+                    },
+                );
+                let _ = ctx.send_with(
+                    *t,
+                    msg,
+                    Some(mbthread::Constraint::priority(Priority::CONTROL)),
+                );
+            }
+            PushNode::Function { down, .. } | PushNode::Consumer { down, .. } => {
+                down.mark_eos(ctx, rt);
+            }
+            PushNode::Split { branches, .. } => {
+                for b in branches {
+                    b.mark_eos(ctx, rt);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instantiation: build plans → runtime trees, spawning coroutines
+// ---------------------------------------------------------------------
+
+/// Materializes a pull-side build chain, spawning coroutine threads as
+/// needed. Direct stage ids encountered for the *current* thread are
+/// appended to `local_stages` so the caller can register them in the
+/// routing table once its own thread id is known.
+pub(crate) fn instantiate_pull(
+    shared: &Arc<Shared>,
+    build: PullBuild,
+    priority: Priority,
+    local_stages: &mut Vec<NodeId>,
+) -> Result<PullNode, PipeError> {
+    match build {
+        PullBuild::Origin => Ok(PullNode::Origin),
+        PullBuild::Buffer { handle } => Ok(PullNode::Buffer(handle)),
+        PullBuild::Stage { id, style, up } => {
+            let up = instantiate_pull(shared, *up, priority, local_stages)?;
+            local_stages.push(id);
+            match style {
+                Style::Producer(stage) => Ok(PullNode::Producer {
+                    id,
+                    stage,
+                    up: Box::new(up),
+                }),
+                Style::Function(stage) => Ok(PullNode::Function {
+                    id,
+                    stage,
+                    up: Box::new(up),
+                }),
+                other => unreachable!(
+                    "planner placed a {} as direct in pull mode",
+                    other.style_name()
+                ),
+            }
+        }
+        PullBuild::Coroutine { id, style, up } => {
+            // The coroutine owns everything further upstream.
+            let mut coro_stages = vec![id];
+            let up = instantiate_pull(shared, *up, priority, &mut coro_stages)?;
+            let tid = spawn_coroutine(
+                shared,
+                CoroSide::AnswersGets,
+                id,
+                style,
+                Some(up),
+                None,
+                priority,
+                coro_stages,
+            )?;
+            Ok(PullNode::Coro(tid))
+        }
+    }
+}
+
+/// Materializes a push-side build tree, spawning coroutine threads as
+/// needed.
+pub(crate) fn instantiate_push(
+    shared: &Arc<Shared>,
+    build: PushBuild,
+    priority: Priority,
+    local_stages: &mut Vec<NodeId>,
+) -> Result<PushNode, PipeError> {
+    match build {
+        PushBuild::End => Ok(PushNode::End),
+        PushBuild::Buffer { handle } => Ok(PushNode::Buffer(handle)),
+        PushBuild::Split { id, kind, branches } => {
+            let mut out = Vec::new();
+            for b in branches {
+                out.push(instantiate_push(shared, b, priority, local_stages)?);
+            }
+            let _ = id;
+            Ok(PushNode::Split {
+                kind,
+                branches: out,
+            })
+        }
+        PushBuild::Stage { id, style, down } => {
+            let down = instantiate_push(shared, *down, priority, local_stages)?;
+            local_stages.push(id);
+            match style {
+                Style::Consumer(stage) => Ok(PushNode::Consumer {
+                    id,
+                    stage,
+                    down: Box::new(down),
+                }),
+                Style::Function(stage) => Ok(PushNode::Function {
+                    id,
+                    stage,
+                    down: Box::new(down),
+                }),
+                other => unreachable!(
+                    "planner placed a {} as direct in push mode",
+                    other.style_name()
+                ),
+            }
+        }
+        PushBuild::Coroutine { id, style, down } => {
+            let mut coro_stages = vec![id];
+            let down = instantiate_push(shared, *down, priority, &mut coro_stages)?;
+            let tid = spawn_coroutine(
+                shared,
+                CoroSide::ReceivesPuts,
+                id,
+                style,
+                None,
+                Some(down),
+                priority,
+                coro_stages,
+            )?;
+            Ok(PushNode::Coro(tid))
+        }
+    }
+}

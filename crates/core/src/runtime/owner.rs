@@ -1,0 +1,264 @@
+//! The section owner's code function: pump scheduling and cycle
+//! execution, or the main loop of an active endpoint.
+
+use super::coroutine::dispatch_event_to;
+use super::nodes::{PullNode, PushNode};
+use super::stagectx::{GetWiring, PutWiring, StageCtx};
+use super::{Pulled, PushRes, RtState};
+use crate::buffer::BufHandle;
+use crate::events::{tags, ControlEvent, EventMsg};
+use crate::graph::NodeId;
+use crate::pump::{CycleOutcome, Pump, Schedule};
+use crate::stage::{ActiveObject, Stage};
+use mbthread::{Ctx, Envelope, Flow, Message, TimerId};
+
+/// Which kind of activity owner runs this section.
+pub(crate) enum OwnerRole {
+    Pump {
+        pump: Box<dyn Pump>,
+    },
+    ActiveSource {
+        id: NodeId,
+        stage: Box<dyn ActiveObject>,
+    },
+    ActiveSink {
+        id: NodeId,
+        stage: Box<dyn ActiveObject>,
+    },
+}
+
+pub(crate) struct OwnerFn {
+    pub(crate) role: OwnerRole,
+    pub(crate) up: PullNode,
+    pub(crate) down: PushNode,
+    pub(crate) rt: RtState,
+    /// The owner's nearest upstream buffer (within its direct segment),
+    /// used for `OnArrival` parking.
+    pub(crate) arrival_buf: Option<BufHandle>,
+    pub(crate) started: bool,
+    pub(crate) stopped: bool,
+    pub(crate) pending_tick: Option<TimerId>,
+    pub(crate) waiting_arrival: bool,
+}
+
+impl OwnerFn {
+    pub(crate) fn new(role: OwnerRole, up: PullNode, down: PushNode, rt: RtState) -> OwnerFn {
+        let arrival_buf = up.nearest_buffer();
+        OwnerFn {
+            role,
+            up,
+            down,
+            rt,
+            arrival_buf,
+            started: false,
+            stopped: false,
+            pending_tick: None,
+            waiting_arrival: false,
+        }
+    }
+
+    /// Runs one pump cycle: pull one item from upstream, push it through
+    /// the downstream tree.
+    fn cycle(&mut self, ctx: &mut Ctx<'_>) -> CycleOutcome {
+        match self.up.pull(ctx, &mut self.rt) {
+            Pulled::Item(item) => {
+                self.rt.items_moved += 1;
+                match self.down.push(ctx, &mut self.rt, item) {
+                    PushRes::Ok => CycleOutcome::Moved,
+                    PushRes::Interrupted => CycleOutcome::Interrupted,
+                }
+            }
+            Pulled::Empty => CycleOutcome::UpstreamEmpty,
+            Pulled::Eos => {
+                // Propagate end of stream downstream and announce it.
+                self.down.mark_eos(ctx, &mut self.rt);
+                self.rt.broadcast(ctx, &ControlEvent::Eos);
+                CycleOutcome::Eos
+            }
+            Pulled::Interrupted => CycleOutcome::Interrupted,
+        }
+    }
+
+    fn apply_schedule(&mut self, ctx: &mut Ctx<'_>, schedule: Schedule) {
+        if let Some(t) = self.pending_tick.take() {
+            let _ = ctx.cancel_timer(t);
+        }
+        self.waiting_arrival = false;
+        let OwnerRole::Pump { pump } = &mut self.role else {
+            return;
+        };
+        match schedule {
+            Schedule::Stopped => {
+                self.stopped = true;
+            }
+            Schedule::At(t) => {
+                let constraint = pump.cycle_constraint(ctx.now());
+                self.pending_tick =
+                    Some(ctx.set_timer(t, Message::signal(tags::TICK), constraint));
+            }
+            Schedule::Immediately => {
+                let constraint = pump.cycle_constraint(ctx.now());
+                let me = ctx.id();
+                let _ = ctx.send_with(me, Message::signal(tags::TICK), constraint);
+            }
+            Schedule::OnArrival => match &self.arrival_buf {
+                Some(buf) => {
+                    if buf.watch_arrival(ctx.id()) {
+                        self.waiting_arrival = true;
+                    } else {
+                        // Data already present: go again right away.
+                        let constraint = pump.cycle_constraint(ctx.now());
+                        let me = ctx.id();
+                        let _ = ctx.send_with(me, Message::signal(tags::TICK), constraint);
+                    }
+                }
+                None => {
+                    // No buffer boundary in the direct segment (a
+                    // coroutine or passive source blocks instead); treat
+                    // as immediate.
+                    let constraint = pump.cycle_constraint(ctx.now());
+                    let me = ctx.id();
+                    let _ = ctx.send_with(me, Message::signal(tags::TICK), constraint);
+                }
+            },
+        }
+    }
+
+    fn run_cycle_and_reschedule(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.started || self.stopped || self.rt.stopping {
+            return;
+        }
+        let outcome = self.cycle(ctx);
+        let now = ctx.now();
+        let schedule = match &mut self.role {
+            OwnerRole::Pump { pump } => pump.after_cycle(now, outcome),
+            _ => Schedule::Stopped,
+        };
+        self.apply_schedule(ctx, schedule);
+    }
+
+    /// Runs an active endpoint's main function to completion.
+    fn run_active(&mut self, ctx: &mut Ctx<'_>) {
+        let rt = &mut self.rt;
+        match &mut self.role {
+            OwnerRole::ActiveSource { stage, .. } => {
+                {
+                    let mut sctx = StageCtx::wired(
+                        ctx,
+                        rt,
+                        GetWiring::None,
+                        PutWiring::Tree(&mut self.down),
+                    );
+                    stage.run(&mut sctx);
+                }
+                if !rt.stopping {
+                    self.down.mark_eos(ctx, rt);
+                    rt.broadcast(ctx, &ControlEvent::Eos);
+                }
+            }
+            OwnerRole::ActiveSink { stage, .. } => {
+                let mut sctx = StageCtx::wired(
+                    ctx,
+                    rt,
+                    GetWiring::Tree(&mut self.up),
+                    PutWiring::None,
+                );
+                stage.run(&mut sctx);
+            }
+            OwnerRole::Pump { .. } => unreachable!("run_active on a pump section"),
+        }
+        self.stopped = true;
+    }
+
+    /// Processes every queued control event: owner-level handling (start,
+    /// stop, pump rescheduling) followed by delivery to this thread's
+    /// stages. Events queue up while data processing is in progress and
+    /// are handled here, as soon as it is done (§3.2).
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let mut budget = self.rt.pending_events.len().max(4) * 4;
+        while budget > 0 {
+            budget -= 1;
+            let Some(msg) = self.rt.pending_events.pop_front() else {
+                break;
+            };
+            let EventMsg { event, target } = msg;
+
+            // Owner-level handling first.
+            match &event {
+                ControlEvent::Stop => {
+                    self.rt.stopping = true;
+                    if let Some(t) = self.pending_tick.take() {
+                        let _ = ctx.cancel_timer(t);
+                    }
+                    self.stopped = true;
+                }
+                ControlEvent::Start if !self.started => {
+                    self.started = true;
+                    match &mut self.role {
+                        OwnerRole::Pump { pump } => {
+                            let s = pump.on_start(ctx.now());
+                            self.apply_schedule(ctx, s);
+                        }
+                        _ => self.run_active(ctx),
+                    }
+                }
+                ControlEvent::Start => {}
+                other => {
+                    let now = ctx.now();
+                    let resched = match &mut self.role {
+                        OwnerRole::Pump { pump } => pump.on_event(now, other),
+                        _ => None,
+                    };
+                    if let Some(s) = resched {
+                        if self.started && !self.stopped {
+                            self.apply_schedule(ctx, s);
+                        }
+                    }
+                }
+            }
+
+            // Then deliver to the stages this thread owns (and, for active
+            // endpoints not currently inside run(), the endpoint itself).
+            let own: Option<(NodeId, &mut dyn Stage)> = match &mut self.role {
+                OwnerRole::ActiveSource { id, stage } | OwnerRole::ActiveSink { id, stage } => {
+                    Some((*id, stage.as_mut()))
+                }
+                OwnerRole::Pump { .. } => None,
+            };
+            dispatch_event_to(
+                ctx,
+                &mut self.rt,
+                &event,
+                target,
+                own,
+                Some(&mut self.up),
+                Some(&mut self.down),
+            );
+        }
+    }
+}
+
+impl mbthread::CodeFn for OwnerFn {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, mut env: Envelope) -> Flow {
+        match env.tag() {
+            t if t == tags::CTRL => {
+                if let Some(msg) = env.message_mut().take_body::<EventMsg>() {
+                    self.rt.pending_events.push_back(msg);
+                }
+            }
+            t if t == tags::TICK => {
+                self.run_cycle_and_reschedule(ctx);
+            }
+            t if t == tags::ARRIVAL => {
+                if self.waiting_arrival {
+                    self.waiting_arrival = false;
+                    self.run_cycle_and_reschedule(ctx);
+                }
+                // Otherwise: a stray wakeup from an earlier blocking wait.
+            }
+            _ => { /* SPACE and other stray wakeups are harmless */ }
+        }
+        self.drain(ctx);
+        Flow::Continue
+    }
+}

@@ -1,0 +1,256 @@
+//! Controllers: policies mapping sensor readings to actuator commands.
+
+use crate::sensor::SensorReading;
+use infopipes::ControlEvent;
+
+/// A feedback policy: observes readings, occasionally emits an actuator
+/// command (a control event).
+pub trait Controller: Send + 'static {
+    /// Processes one reading; returns a command when the policy wants to
+    /// adjust an actuator.
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent>;
+}
+
+impl<F> Controller for F
+where
+    F: FnMut(&SensorReading) -> Option<ControlEvent> + Send + 'static,
+{
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent> {
+        self(reading)
+    }
+}
+
+/// The drop-level policy of Fig. 1: watches the consumer-side delivery
+/// rate and raises or lowers the producer-side
+/// [`PriorityDropFilter`](media::PriorityDropFilter)'s level with
+/// hysteresis, so dropping happens *before* the congested network, under
+/// application control.
+pub struct DropLevelController {
+    reading_name: String,
+    target_rate: f64,
+    level: u8,
+    max_level: u8,
+    /// Raise the level when delivery falls below this fraction of target.
+    pub raise_below: f64,
+    /// Lower the level when delivery exceeds this fraction of target
+    /// (of the *reduced* expectation at the current level).
+    pub lower_above: f64,
+    /// Consecutive good windows required before lowering (hysteresis).
+    pub patience: u32,
+    good_windows: u32,
+    /// Expected delivery fraction of the nominal rate at each drop level.
+    fractions: [f64; 3],
+}
+
+impl DropLevelController {
+    /// Creates a controller watching `reading_name` against the stream's
+    /// nominal rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_rate` is not strictly positive.
+    #[must_use]
+    pub fn new(reading_name: impl Into<String>, target_rate: f64) -> DropLevelController {
+        assert!(
+            target_rate > 0.0 && target_rate.is_finite(),
+            "target rate must be positive"
+        );
+        DropLevelController {
+            reading_name: reading_name.into(),
+            target_rate,
+            level: 0,
+            max_level: 2,
+            raise_below: 0.85,
+            lower_above: 0.97,
+            patience: 3,
+            good_windows: 0,
+            fractions: [1.0, 0.34, 0.12],
+        }
+    }
+
+    /// Overrides the expected delivery fraction at each drop level
+    /// (level 0, 1, 2). Use this when the sensed quantity is not frames —
+    /// e.g. packets, whose per-level fractions depend on frame sizes.
+    #[must_use]
+    pub fn with_fractions(mut self, fractions: [f64; 3]) -> DropLevelController {
+        self.fractions = fractions;
+        self
+    }
+
+    /// The current drop level.
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The frame rate the pipeline should deliver at the current drop
+    /// level, as a fraction of the nominal rate (an `IBBPBB…` stream at
+    /// level 1 keeps roughly the reference-frame third).
+    fn expected_fraction(&self) -> f64 {
+        self.fractions[usize::from(self.level.min(2))]
+    }
+}
+
+impl Controller for DropLevelController {
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent> {
+        if reading.name != self.reading_name {
+            return None;
+        }
+        let expected = self.target_rate * self.expected_fraction();
+        let ratio = reading.value / expected;
+        if ratio < self.raise_below && self.level < self.max_level {
+            self.level += 1;
+            self.good_windows = 0;
+            return Some(ControlEvent::SetDropLevel(self.level));
+        }
+        if ratio > self.lower_above && self.level > 0 {
+            self.good_windows += 1;
+            if self.good_windows >= self.patience {
+                self.level -= 1;
+                self.good_windows = 0;
+                return Some(ControlEvent::SetDropLevel(self.level));
+            }
+        } else {
+            self.good_windows = 0;
+        }
+        None
+    }
+}
+
+/// A proportional rate controller: nudges a pump's rate to hold a buffer
+/// at a target fill level (the real-rate allocator of ref [27], reduced
+/// to its proportional term).
+pub struct ProportionalRateController {
+    reading_name: String,
+    base_rate: f64,
+    target_fill: f64,
+    gain: f64,
+    min_rate: f64,
+    max_rate: f64,
+}
+
+impl ProportionalRateController {
+    /// Creates a controller that emits `SetRate` commands around
+    /// `base_rate` in response to fill-level readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate` is not strictly positive.
+    #[must_use]
+    pub fn new(
+        reading_name: impl Into<String>,
+        base_rate: f64,
+        target_fill: f64,
+        gain: f64,
+    ) -> ProportionalRateController {
+        assert!(
+            base_rate > 0.0 && base_rate.is_finite(),
+            "base rate must be positive"
+        );
+        ProportionalRateController {
+            reading_name: reading_name.into(),
+            base_rate,
+            target_fill,
+            gain,
+            min_rate: base_rate * 0.25,
+            max_rate: base_rate * 4.0,
+        }
+    }
+}
+
+impl Controller for ProportionalRateController {
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent> {
+        if reading.name != self.reading_name {
+            return None;
+        }
+        // A consumer-side pump should speed up when the buffer is too
+        // full and slow down when it drains.
+        let error = reading.value - self.target_fill;
+        let rate = (self.base_rate * (1.0 + self.gain * error))
+            .clamp(self.min_rate, self.max_rate);
+        Some(ControlEvent::SetRate(rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(name: &str, value: f64) -> SensorReading {
+        SensorReading {
+            name: name.into(),
+            value,
+        }
+    }
+
+    #[test]
+    fn drop_controller_escalates_under_congestion() {
+        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
+        // Delivery collapses to 10 Hz: raise to level 1.
+        assert_eq!(
+            c.observe(&reading("recv-rate-hz", 10.0)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        // At level 1 we expect ~10 Hz; 9.9 Hz is within band: no change.
+        assert_eq!(c.observe(&reading("recv-rate-hz", 9.9)), None);
+        // Still worse: raise to level 2.
+        assert_eq!(
+            c.observe(&reading("recv-rate-hz", 5.0)),
+            Some(ControlEvent::SetDropLevel(2))
+        );
+        // Max level: no further escalation.
+        assert_eq!(c.observe(&reading("recv-rate-hz", 1.0)), None);
+        assert_eq!(c.level(), 2);
+    }
+
+    #[test]
+    fn drop_controller_recovers_with_hysteresis() {
+        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
+        let _ = c.observe(&reading("recv-rate-hz", 10.0)); // -> level 1
+        // Expected at level 1 is ~10.2 Hz; sustained full delivery should
+        // lower the level, but only after `patience` good windows.
+        assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
+        assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
+        assert_eq!(
+            c.observe(&reading("recv-rate-hz", 10.2)),
+            Some(ControlEvent::SetDropLevel(0))
+        );
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn drop_controller_ignores_other_readings() {
+        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
+        assert_eq!(c.observe(&reading("fill-level", 0.0)), None);
+    }
+
+    #[test]
+    fn rate_controller_is_proportional_and_clamped() {
+        let mut c = ProportionalRateController::new("fill-level", 30.0, 0.5, 1.0);
+        // At target: base rate.
+        match c.observe(&reading("fill-level", 0.5)) {
+            Some(ControlEvent::SetRate(r)) => assert!((r - 30.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Overfull buffer: speed up.
+        match c.observe(&reading("fill-level", 1.0)) {
+            Some(ControlEvent::SetRate(r)) => assert!(r > 30.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Clamped below.
+        match c.observe(&reading("fill-level", -100.0)) {
+            Some(ControlEvent::SetRate(r)) => assert!((r - 7.5).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_controllers_work() {
+        let mut c = |r: &SensorReading| {
+            (r.value > 1.0).then_some(ControlEvent::SetDropLevel(1))
+        };
+        assert_eq!(Controller::observe(&mut c, &reading("x", 2.0)),
+            Some(ControlEvent::SetDropLevel(1)));
+        assert_eq!(Controller::observe(&mut c, &reading("x", 0.5)), None);
+    }
+}

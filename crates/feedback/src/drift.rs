@@ -1,0 +1,128 @@
+//! Clock-drift estimation for producer-side pumps in distributed
+//! pipelines: "its speed is adjusted by a feedback mechanism to
+//! compensate for clock drift and variation in network latency between
+//! producer and consumer" (§3.1, refs [5, 32]).
+
+/// Estimates the rate mismatch between a stream's timestamps and the
+/// local clock from (pts, arrival) pairs, using an incremental
+/// least-squares slope.
+#[derive(Clone, Debug, Default)]
+pub struct DriftEstimator {
+    n: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+impl DriftEstimator {
+    /// An empty estimator.
+    #[must_use]
+    pub fn new() -> DriftEstimator {
+        DriftEstimator::default()
+    }
+
+    /// Records one observation: the item's stream timestamp and its local
+    /// arrival time (both microseconds).
+    pub fn update(&mut self, pts_us: u64, arrival_us: u64) {
+        // Center roughly by using f64 seconds to keep the sums well
+        // conditioned.
+        let x = pts_us as f64 / 1e6;
+        let y = arrival_us as f64 / 1e6;
+        self.n += 1.0;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+
+    /// Observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n as u64
+    }
+
+    /// The slope of arrival time vs. stream time: 1.0 means the clocks
+    /// agree; 1.001 means the consumer clock runs 0.1 % fast relative to
+    /// the stream (or the stream is delivered 0.1 % slow). `None` until
+    /// two distinct observations exist.
+    #[must_use]
+    pub fn slope(&self) -> Option<f64> {
+        if self.n < 2.0 {
+            return None;
+        }
+        let denom = self.n * self.sum_xx - self.sum_x * self.sum_x;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((self.n * self.sum_xy - self.sum_x * self.sum_y) / denom)
+    }
+
+    /// Estimated drift in parts per million (positive: arrivals are
+    /// stretching out, the producer should speed up).
+    #[must_use]
+    pub fn drift_ppm(&self) -> Option<f64> {
+        self.slope().map(|s| (s - 1.0) * 1e6)
+    }
+
+    /// The factor by which a producer-side pump should multiply its rate
+    /// to compensate for the observed drift.
+    #[must_use]
+    pub fn rate_correction(&self) -> Option<f64> {
+        self.slope().map(|s| s.clamp(0.5, 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_clocks_have_unit_slope() {
+        let mut d = DriftEstimator::new();
+        for i in 0..50u64 {
+            d.update(i * 33_333, 1_000_000 + i * 33_333);
+        }
+        let slope = d.slope().unwrap();
+        assert!((slope - 1.0).abs() < 1e-9, "slope {slope}");
+        assert!(d.drift_ppm().unwrap().abs() < 1.0);
+    }
+
+    #[test]
+    fn slow_delivery_shows_positive_drift() {
+        let mut d = DriftEstimator::new();
+        // Arrivals stretched by 0.1 %.
+        for i in 0..50u64 {
+            let pts = i * 33_333;
+            let arrival = (pts as f64 * 1.001) as u64;
+            d.update(pts, arrival);
+        }
+        let ppm = d.drift_ppm().unwrap();
+        assert!((ppm - 1000.0).abs() < 50.0, "ppm {ppm}");
+        let corr = d.rate_correction().unwrap();
+        assert!(corr > 1.0005 && corr < 1.0015, "corr {corr}");
+    }
+
+    #[test]
+    fn jittery_but_unbiased_arrivals_average_out() {
+        let mut d = DriftEstimator::new();
+        for i in 0..100u64 {
+            let pts = i * 10_000;
+            let jitter = if i % 2 == 0 { 500 } else { 0 };
+            d.update(pts, pts + jitter);
+        }
+        let ppm = d.drift_ppm().unwrap();
+        assert!(ppm.abs() < 200.0, "ppm {ppm}");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        let mut d = DriftEstimator::new();
+        assert_eq!(d.slope(), None);
+        d.update(0, 0);
+        assert_eq!(d.slope(), None);
+        d.update(0, 5); // same x twice: singular
+        assert_eq!(d.slope(), None);
+        assert_eq!(d.count(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sensors: components that measure a flow and report readings as custom
+//! control events.
+
+use infopipes::{BufferProbe, ControlEvent, Function, Item, Stage};
+use std::fmt;
+
+/// A named scalar measurement, as carried by a
+/// [`ControlEvent::Custom`] event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorReading {
+    /// The reading's name (e.g. `"recv-rate-hz"`, `"fill-level"`).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl SensorReading {
+    /// Parses a reading out of a control event, if it is a custom event.
+    #[must_use]
+    pub fn from_event(event: &ControlEvent) -> Option<SensorReading> {
+        match event {
+            ControlEvent::Custom { name, value } => Some(SensorReading {
+                name: name.to_string(),
+                value: *value,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The control event broadcasting this reading.
+    #[must_use]
+    pub fn to_event(&self) -> ControlEvent {
+        ControlEvent::custom(&self.name, self.value)
+    }
+}
+
+impl fmt::Display for SensorReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// A pass-through sensor measuring the *rate* of items flowing by: every
+/// `report_every` items it broadcasts a `recv-rate-hz` reading computed
+/// over that window. Function style: zero-cost placement anywhere in a
+/// pipeline (the paper's consumer-side sensor of Fig. 1).
+pub struct RateSensor {
+    name: String,
+    report_every: u64,
+    seen: u64,
+    window_start_us: Option<u64>,
+    pending_report: Option<f64>,
+    /// Total items observed.
+    pub total: u64,
+}
+
+impl RateSensor {
+    /// Creates a rate sensor reporting under the given reading name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report_every` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, report_every: u64) -> RateSensor {
+        assert!(report_every > 0, "report_every must be positive");
+        RateSensor {
+            name: name.into(),
+            report_every,
+            seen: 0,
+            window_start_us: None,
+            pending_report: None,
+            total: 0,
+        }
+    }
+
+    /// Observes one item at the given kernel time; returns a rate reading
+    /// when a window completes.
+    pub fn observe(&mut self, now_us: u64) -> Option<SensorReading> {
+        self.total += 1;
+        let start = *self.window_start_us.get_or_insert(now_us);
+        self.seen += 1;
+        if self.seen < self.report_every {
+            return None;
+        }
+        let elapsed_us = now_us.saturating_sub(start).max(1);
+        let rate = (self.seen as f64) * 1_000_000.0 / elapsed_us as f64;
+        self.seen = 0;
+        self.window_start_us = Some(now_us);
+        Some(SensorReading {
+            name: self.name.clone(),
+            value: rate,
+        })
+    }
+
+    /// Takes a report computed during `convert` (functions have no
+    /// broadcast access; the enclosing
+    /// [`FeedbackLoop`](crate::FeedbackLoop) or a consumer wrapper
+    /// forwards it).
+    pub fn take_report(&mut self) -> Option<f64> {
+        self.pending_report.take()
+    }
+}
+
+impl Stage for RateSensor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Function for RateSensor {
+    fn convert(&mut self, item: Item) -> Option<Item> {
+        let now_us = item.meta.ts.as_micros();
+        if let Some(reading) = self.observe(now_us) {
+            self.pending_report = Some(reading.value);
+        }
+        Some(item)
+    }
+}
+
+/// Samples a buffer's fill fraction on demand — the fill-level feedback
+/// of ref [27] ("adjust CPU allocations among pipeline stages according
+/// to feedback from buffer fill levels").
+pub struct FillLevelSensor {
+    name: String,
+    probe: BufferProbe,
+}
+
+impl FillLevelSensor {
+    /// Creates a sensor over the given buffer probe.
+    #[must_use]
+    pub fn new(name: impl Into<String>, probe: BufferProbe) -> FillLevelSensor {
+        FillLevelSensor {
+            name: name.into(),
+            probe,
+        }
+    }
+
+    /// Reads the current fill fraction (0.0–1.0).
+    #[must_use]
+    pub fn read(&self) -> SensorReading {
+        SensorReading {
+            name: self.name.clone(),
+            value: self.probe.fill_fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_round_trips_through_events() {
+        let r = SensorReading {
+            name: "fill-level".into(),
+            value: 0.75,
+        };
+        let ev = r.to_event();
+        assert_eq!(SensorReading::from_event(&ev), Some(r));
+        assert_eq!(SensorReading::from_event(&ControlEvent::Start), None);
+    }
+
+    #[test]
+    fn rate_sensor_reports_per_window() {
+        let mut s = RateSensor::new("recv-rate-hz", 5);
+        // 5 items 10 ms apart: the first completes a window after 40 ms
+        // of elapsed window time (4 intervals observed from the window
+        // start).
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            if let Some(r) = s.observe(i * 10_000) {
+                out.push(r.value);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        // Window 1: 5 items over 40 ms -> 125 Hz; window 2: 5 items over
+        // 50 ms -> 100 Hz.
+        assert!((out[0] - 125.0).abs() < 1.0, "{out:?}");
+        assert!((out[1] - 100.0).abs() < 1.0, "{out:?}");
+        assert_eq!(s.total, 10);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = SensorReading {
+            name: "x".into(),
+            value: 1.5,
+        };
+        assert_eq!(r.to_string(), "x = 1.5");
+    }
+}

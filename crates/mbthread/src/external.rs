@@ -1,0 +1,244 @@
+//! Mailboxes for OS threads outside the kernel.
+//!
+//! An [`ExternalPort`] lets ordinary OS threads — `main`, a network
+//! receiver, a test harness — exchange messages with kernel threads. This
+//! is how the platform maps "network packets and signals from the operating
+//! system" to messages (§4): the OS-facing thread blocks on real I/O and
+//! injects what it reads as messages through its port.
+//!
+//! Ports are not scheduled: they do not take part in the kernel's
+//! uniprocessor discipline and their receive operations block the calling
+//! OS thread in real time (even when the kernel runs on the virtual
+//! clock).
+
+use crate::clock::Time;
+use crate::constraint::Constraint;
+use crate::error::{KernelError, SendError};
+use crate::kernel::Kernel;
+use crate::message::{Envelope, MatchSpec, Message, ReplyToken};
+use crate::record::{RunState, ThreadId};
+use crate::sched::{self};
+use crate::stats::StatCounters;
+use parking_lot::Condvar;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A mailbox connecting an external OS thread to a [`Kernel`].
+///
+/// Created by [`Kernel::external`]. Dropping the port terminates its
+/// mailbox; kernel threads synchronously waiting on it observe
+/// [`KernelError::PeerGone`].
+pub struct ExternalPort {
+    kernel: Kernel,
+    id: ThreadId,
+    cv: Arc<Condvar>,
+}
+
+impl ExternalPort {
+    pub(crate) fn new(kernel: Kernel, id: ThreadId) -> Self {
+        let cv = {
+            let state = kernel.inner.state.lock();
+            Arc::clone(&state.rec(id).expect("external record exists").cv)
+        };
+        ExternalPort { kernel, id, cv }
+    }
+
+    /// The thread id kernel threads can use to send messages to this port.
+    #[must_use]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The kernel this port belongs to.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Sends a message to a kernel thread, without a constraint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the target does not exist, has terminated, or the kernel is
+    /// shutting down.
+    pub fn send(&self, to: ThreadId, msg: Message) -> Result<(), SendError> {
+        self.send_with(to, msg, None)
+    }
+
+    /// Sends a message to a kernel thread with an explicit constraint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the target does not exist, has terminated, or the kernel is
+    /// shutting down.
+    pub fn send_with(
+        &self,
+        to: ThreadId,
+        msg: Message,
+        constraint: Option<Constraint>,
+    ) -> Result<(), SendError> {
+        let inner = &self.kernel.inner;
+        let mut state = inner.state.lock();
+        let seq = state.send_seq;
+        state.send_seq += 1;
+        let env = Envelope {
+            from: Some(self.id),
+            msg,
+            constraint,
+            reply_to: None,
+            in_reply: None,
+            seq,
+        };
+        sched::enqueue(&mut state, &inner.stats, to, env)?;
+        // Kick the dispatcher in case the kernel was idle.
+        inner.reschedule(&mut state);
+        Ok(())
+    }
+
+    /// Sends a message and blocks the calling OS thread until the kernel
+    /// thread replies.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the target is unknown, terminates before replying, or the
+    /// kernel shuts down.
+    pub fn send_sync(&self, to: ThreadId, msg: Message) -> Result<Envelope, KernelError> {
+        let inner = &self.kernel.inner;
+        let token = {
+            let mut state = inner.state.lock();
+            let token = state.next_token;
+            state.next_token += 1;
+            let seq = state.send_seq;
+            state.send_seq += 1;
+            let env = Envelope {
+                from: Some(self.id),
+                msg,
+                constraint: None,
+                reply_to: Some(ReplyToken(token)),
+                in_reply: None,
+                seq,
+            };
+            sched::enqueue(&mut state, &inner.stats, to, env).map_err(KernelError::from)?;
+            StatCounters::bump(&inner.stats.sync_sends);
+            state.pending_tokens.insert(token);
+            if let Some(rec) = state.rec_mut(self.id) {
+                rec.waiting_on = Some(to);
+            }
+            inner.reschedule(&mut state);
+            token
+        };
+        let spec = MatchSpec::Reply(token);
+        let out = self.blocking_recv(&spec, None);
+        let mut state = inner.state.lock();
+        state.pending_tokens.remove(&token);
+        if let Some(rec) = state.rec_mut(self.id) {
+            rec.waiting_on = None;
+        }
+        out.ok_or(KernelError::Shutdown).and_then(|r| r)
+    }
+
+    /// Blocks until a message matching `spec` arrives at this port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shutdown`] when the kernel shuts down.
+    pub fn recv_matching(&self, spec: &MatchSpec) -> Result<Envelope, KernelError> {
+        self.blocking_recv(spec, None)
+            .expect("no timeout given")
+    }
+
+    /// Blocks until any message arrives at this port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shutdown`] when the kernel shuts down.
+    pub fn recv(&self) -> Result<Envelope, KernelError> {
+        self.recv_matching(&MatchSpec::Any)
+    }
+
+    /// Like [`ExternalPort::recv_matching`] with a wall-clock timeout;
+    /// `None` on timeout.
+    pub fn recv_timeout(&self, spec: &MatchSpec, timeout: Duration) -> Option<Envelope> {
+        self.blocking_recv(spec, Some(timeout))
+            .map(Result::ok)
+            .flatten()
+    }
+
+    /// Current kernel time (convenience).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.kernel.now()
+    }
+
+    /// Waits on the port's condvar until a matching message is queued.
+    /// Outer `None` = timed out; inner `Err` = shutdown/peer-gone.
+    fn blocking_recv(
+        &self,
+        spec: &MatchSpec,
+        timeout: Option<Duration>,
+    ) -> Option<Result<Envelope, KernelError>> {
+        let inner = &self.kernel.inner;
+        let deadline = timeout.map(|d| std::time::Instant::now() + d);
+        let mut state = inner.state.lock();
+        loop {
+            if state.shutdown {
+                return Some(Err(KernelError::Shutdown));
+            }
+            {
+                let Some(rec) = state.rec_mut(self.id) else {
+                    return Some(Err(KernelError::Shutdown));
+                };
+                if let Some(peer) = rec.peer_gone.take() {
+                    rec.waiting_on = None;
+                    return Some(Err(KernelError::PeerGone(peer)));
+                }
+                if let Some(idx) = rec.find_match(spec) {
+                    let env = rec.mailbox.remove(idx).expect("index from find_match");
+                    return Some(Ok(env));
+                }
+            }
+            match deadline {
+                Some(dl) => {
+                    let now = std::time::Instant::now();
+                    if now >= dl {
+                        return None;
+                    }
+                    let res = self.cv.wait_for(&mut state, dl - now);
+                    if res.timed_out() {
+                        // Re-check the mailbox once more before reporting
+                        // the timeout.
+                        let rec = state.rec_mut(self.id)?;
+                        if let Some(idx) = rec.find_match(spec) {
+                            let env = rec.mailbox.remove(idx).expect("index from find_match");
+                            return Some(Ok(env));
+                        }
+                        return None;
+                    }
+                }
+                None => self.cv.wait(&mut state),
+            }
+        }
+    }
+}
+
+impl Drop for ExternalPort {
+    fn drop(&mut self) {
+        let inner = &self.kernel.inner;
+        let mut state = inner.state.lock();
+        if state.rec(self.id).is_some() {
+            sched::terminate(&mut state, self.id);
+            // terminate() keeps the record for diagnostics; mark it Done so
+            // senders fail fast.
+            if let Some(rec) = state.rec_mut(self.id) {
+                rec.state = RunState::Done;
+            }
+            inner.reschedule(&mut state);
+        }
+    }
+}
+
+impl std::fmt::Debug for ExternalPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExternalPort").field("id", &self.id).finish()
+    }
+}

@@ -1,0 +1,484 @@
+//! The kernel: owns all threads, the clock, and the dispatcher.
+
+use crate::clock::{ClockMode, Time};
+use crate::constraint::Priority;
+use crate::ctx::{Ctx, SpawnOptions};
+use crate::error::KernelError;
+use crate::external::ExternalPort;
+use crate::record::{CodeFn, Flow, ThreadId, ThreadRec};
+use crate::sched::{self, KState, SchedConfig};
+use crate::stats::{KernelStats, StatCounters};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+std::thread_local! {
+    /// True on OS threads that back kernel threads (user threads and the
+    /// dispatcher); used to reject blocking kernel-management calls that
+    /// would deadlock if made from inside.
+    static IS_KERNEL_THREAD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+pub(crate) fn on_kernel_thread() -> bool {
+    IS_KERNEL_THREAD.with(|c| c.get())
+}
+
+/// Configuration for a [`Kernel`].
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Real or virtual time; see [`ClockMode`].
+    pub clock: ClockMode,
+    /// Enables the priority-inheritance scheme of §4: a thread's effective
+    /// priority is raised by more urgent messages waiting in its queue and
+    /// by threads synchronously blocked on it.
+    pub priority_inheritance: bool,
+    /// Enables preemption at message operations: a thread that wakes a more
+    /// urgent thread yields the CPU to it immediately.
+    pub preemptive: bool,
+    /// Enables priority scheduling altogether; with this off the scheduler
+    /// is plain FIFO (used by the control-latency ablation experiment).
+    pub priority_scheduling: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            clock: ClockMode::Real,
+            priority_inheritance: true,
+            preemptive: true,
+            priority_scheduling: true,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A default-configured kernel on the virtual clock, for deterministic
+    /// tests.
+    #[must_use]
+    pub fn virtual_time() -> Self {
+        KernelConfig {
+            clock: ClockMode::Virtual,
+            ..KernelConfig::default()
+        }
+    }
+}
+
+pub(crate) struct KernelInner {
+    pub(crate) state: Mutex<KState>,
+    /// Notified on every scheduling-relevant state change; the dispatcher
+    /// and quiescence waiters sleep on it.
+    pub(crate) cv_global: Condvar,
+    pub(crate) epoch: std::time::Instant,
+    pub(crate) cfg: SchedConfig,
+    pub(crate) stats: StatCounters,
+    pub(crate) joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl KernelInner {
+    /// Current kernel time under the lock-holder's view of the world.
+    pub(crate) fn now(&self, state: &KState) -> Time {
+        match self.cfg.clock {
+            ClockMode::Real => {
+                Time::from_nanos(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            }
+            ClockMode::Virtual => state.vnow,
+        }
+    }
+
+    pub(crate) fn reschedule(&self, state: &mut KState) {
+        let now = self.now(state);
+        sched::reschedule(state, &self.cfg, &self.stats, now);
+        self.cv_global.notify_all();
+    }
+}
+
+/// A handle to a message-based thread kernel.
+///
+/// The kernel owns a set of user-level threads with uniprocessor semantics
+/// (at most one runs at a time), a timer wheel, and a clock. Handles are
+/// cheap to clone; the kernel itself lives until [`Kernel::shutdown`].
+///
+/// See the [crate documentation](crate) for the programming model and an
+/// example.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) inner: Arc<KernelInner>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut state = self.inner.state.lock();
+        f.debug_struct("Kernel")
+            .field("clock", &self.inner.cfg.clock)
+            .field("threads", &state.threads.len())
+            .field("running", &state.running)
+            .field("now", &self.inner.now(&state))
+            .field("idle", &state.is_idle())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel and starts its dispatcher.
+    #[must_use]
+    pub fn new(cfg: KernelConfig) -> Kernel {
+        let inner = Arc::new(KernelInner {
+            state: Mutex::new(KState::new()),
+            cv_global: Condvar::new(),
+            epoch: std::time::Instant::now(),
+            cfg: SchedConfig {
+                clock: cfg.clock,
+                priority_inheritance: cfg.priority_inheritance,
+                preemptive: cfg.preemptive,
+                priority_scheduling: cfg.priority_scheduling,
+            },
+            stats: StatCounters::default(),
+            joins: Mutex::new(Vec::new()),
+        });
+        let kernel = Kernel {
+            inner: Arc::clone(&inner),
+        };
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("mbthread-dispatcher".into())
+                .spawn(move || dispatcher_main(&inner))
+                .expect("spawn dispatcher")
+        };
+        kernel.inner.joins.lock().push(dispatcher);
+        kernel
+    }
+
+    /// The clock mode this kernel runs under.
+    #[must_use]
+    pub fn clock_mode(&self) -> ClockMode {
+        self.inner.cfg.clock
+    }
+
+    /// Current kernel time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        let state = self.inner.state.lock();
+        self.inner.now(&state)
+    }
+
+    /// A snapshot of the kernel's activity counters.
+    #[must_use]
+    pub fn stats(&self) -> KernelStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Spawns a user-level thread running `code`.
+    ///
+    /// The thread starts runnable: its [`CodeFn::on_start`] hook runs as
+    /// soon as it is first scheduled, after which the code function is
+    /// invoked once per received message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shutdown`] if the kernel is shutting down.
+    pub fn spawn(
+        &self,
+        opts: impl Into<SpawnOptions>,
+        code: impl CodeFn,
+    ) -> Result<ThreadId, KernelError> {
+        let opts = opts.into();
+        let id = {
+            let mut state = self.inner.state.lock();
+            if state.shutdown {
+                return Err(KernelError::Shutdown);
+            }
+            let id = state.alloc_thread_id();
+            state
+                .threads
+                .insert(id, ThreadRec::new(opts.name.clone(), opts.priority, false));
+            state.make_runnable(id);
+            StatCounters::bump(&self.inner.stats.threads_spawned);
+            self.inner.reschedule(&mut state);
+            id
+        };
+        let inner = Arc::clone(&self.inner);
+        let code = Box::new(code);
+        let handle = std::thread::Builder::new()
+            .name(format!("mbt-{}", opts.name))
+            .spawn(move || thread_main(&inner, id, code))
+            .expect("spawn backing OS thread");
+        self.inner.joins.lock().push(handle);
+        Ok(id)
+    }
+
+    /// Creates a mailbox for an OS thread outside the kernel (e.g. `main`
+    /// in an example, or a network receiver). The port can send messages to
+    /// kernel threads — including synchronously — and receive replies, but
+    /// does not participate in kernel scheduling.
+    #[must_use]
+    pub fn external(&self, name: &str) -> ExternalPort {
+        let id = {
+            let mut state = self.inner.state.lock();
+            let id = state.alloc_thread_id();
+            state
+                .threads
+                .insert(id, ThreadRec::new(name.to_owned(), Priority::NORMAL, true));
+            id
+        };
+        ExternalPort::new(self.clone(), id)
+    }
+
+    /// Blocks the calling (non-kernel) thread until the kernel is idle: no
+    /// thread running or runnable and no pending timer. Under the virtual
+    /// clock this means all work that can happen has happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a kernel thread, which would deadlock.
+    pub fn wait_quiescent(&self) {
+        assert!(
+            !on_kernel_thread(),
+            "wait_quiescent must not be called from a kernel thread"
+        );
+        let mut state = self.inner.state.lock();
+        loop {
+            if state.shutdown || state.is_idle() {
+                return;
+            }
+            self.inner.cv_global.wait(&mut state);
+        }
+    }
+
+    /// Whether shutdown has been initiated.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.state.lock().shutdown
+    }
+
+    /// A human-readable dump of every thread's state, for debugging
+    /// deadlocks.
+    #[must_use]
+    pub fn thread_dump(&self) -> String {
+        let state = self.inner.state.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel @ {} (running: {:?})",
+            self.inner.now(&state),
+            state.running
+        );
+        for (id, rec) in &state.threads {
+            let _ = writeln!(
+                out,
+                "  {id} {:24} {:?} queued={} wait={:?} sleeping={} cur={:?} ext={}",
+                rec.name,
+                rec.state,
+                rec.mailbox.len(),
+                rec.wait,
+                rec.sleeping,
+                rec.cur,
+                rec.external,
+            );
+        }
+        out
+    }
+
+    /// Shuts the kernel down: blocked operations in every thread return
+    /// [`KernelError::Shutdown`], all backing OS threads are joined, and
+    /// the dispatcher exits. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from inside a kernel thread, or (re-)panics with
+    /// the first panic message captured from a user thread.
+    pub fn shutdown(&self) {
+        assert!(
+            !on_kernel_thread(),
+            "shutdown must not be called from a kernel thread"
+        );
+        let panic_info = {
+            let mut state = self.inner.state.lock();
+            state.shutdown = true;
+            for rec in state.threads.values() {
+                rec.cv.notify_all();
+            }
+            self.inner.cv_global.notify_all();
+            state.panic.clone()
+        };
+        let handles: Vec<_> = std::mem::take(&mut *self.inner.joins.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some((name, msg)) = panic_info {
+            panic!("kernel thread '{name}' panicked: {msg}");
+        }
+    }
+}
+
+/// Main loop of a user-level thread's backing OS thread.
+fn thread_main(inner: &Arc<KernelInner>, me: ThreadId, mut code: Box<dyn CodeFn>) {
+    IS_KERNEL_THREAD.with(|c| c.set(true));
+    let kernel = Kernel {
+        inner: Arc::clone(inner),
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = Ctx::new(&kernel, me);
+        // Wait to be scheduled for the first time.
+        if ctx.park_initial().is_err() {
+            return;
+        }
+        code.on_start(&mut ctx);
+        loop {
+            match ctx.main_receive() {
+                Ok(env) => {
+                    let flow = code.on_message(&mut ctx, env);
+                    ctx.clear_current_constraint();
+                    if flow == Flow::Stop {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }));
+
+    let mut state = inner.state.lock();
+    if let Err(payload) = result {
+        let msg = panic_message(payload.as_ref());
+        let name = state
+            .rec(me)
+            .map_or_else(|| me.to_string(), |r| r.name.clone());
+        if state.panic.is_none() {
+            state.panic = Some((name, msg));
+        }
+        // A panicking thread poisons the kernel: everything shuts down so
+        // the failure is loud rather than a silent hang.
+        state.shutdown = true;
+        for rec in state.threads.values() {
+            rec.cv.notify_all();
+        }
+    }
+    sched::terminate(&mut state, me);
+    inner.reschedule(&mut state);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// The dispatcher: fires timers, advances virtual time when the kernel is
+/// otherwise blocked, and grants the CPU when no user thread is in a
+/// position to do so itself.
+fn dispatcher_main(inner: &Arc<KernelInner>) {
+    IS_KERNEL_THREAD.with(|c| c.set(true));
+    let mut state = inner.state.lock();
+    loop {
+        if state.shutdown {
+            // Wake everyone so blocked threads observe shutdown.
+            for rec in state.threads.values() {
+                rec.cv.notify_all();
+            }
+            inner.cv_global.notify_all();
+            return;
+        }
+        let now = inner.now(&state);
+        sched::reschedule(&mut state, &inner.cfg, &inner.stats, now);
+
+        if state.running.is_none() && !state.has_runnable() {
+            match state.next_timer_deadline() {
+                Some(at) => match inner.cfg.clock {
+                    ClockMode::Virtual => {
+                        // Everything is blocked: jump time forward to the
+                        // next deadline. This is the only place virtual
+                        // time advances.
+                        state.vnow = state.vnow.max(at);
+                        continue;
+                    }
+                    ClockMode::Real => {
+                        let dur = at - now;
+                        let _ = inner
+                            .cv_global
+                            .wait_for(&mut state, dur.max(Duration::from_micros(50)));
+                    }
+                },
+                None => {
+                    // Fully idle: tell quiescence waiters, then sleep until
+                    // external input arrives.
+                    inner.cv_global.notify_all();
+                    inner.cv_global.wait(&mut state);
+                }
+            }
+        } else {
+            // Work is in progress; sleep until the next timer (real time)
+            // or until a state change needs us.
+            match (inner.cfg.clock, state.next_timer_deadline()) {
+                (ClockMode::Real, Some(at)) => {
+                    let dur = at - inner.now(&state);
+                    let _ = inner
+                        .cv_global
+                        .wait_for(&mut state, dur.max(Duration::from_micros(50)));
+                }
+                _ => {
+                    inner.cv_global.wait(&mut state);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, Tag};
+
+    #[test]
+    fn kernel_starts_and_shuts_down_cleanly() {
+        let kernel = Kernel::new(KernelConfig::default());
+        assert!(!kernel.is_shutdown());
+        kernel.shutdown();
+        assert!(kernel.is_shutdown());
+        // Idempotent.
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn spawn_after_shutdown_fails() {
+        let kernel = Kernel::new(KernelConfig::default());
+        kernel.shutdown();
+        let err = kernel
+            .spawn("late", |_: &mut Ctx<'_>, _| Flow::Stop)
+            .unwrap_err();
+        assert_eq!(err, KernelError::Shutdown);
+    }
+
+    #[test]
+    fn debug_and_dump_are_nonempty() {
+        let kernel = Kernel::new(KernelConfig::virtual_time());
+        kernel
+            .spawn("idler", |_: &mut Ctx<'_>, _| Flow::Stop)
+            .unwrap();
+        kernel.wait_quiescent();
+        assert!(format!("{kernel:?}").contains("Kernel"));
+        assert!(kernel.thread_dump().contains("idler"));
+        kernel.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn user_thread_panic_is_reported_at_shutdown() {
+        let kernel = Kernel::new(KernelConfig::default());
+        let id = kernel
+            .spawn("bomb", |_: &mut Ctx<'_>, _env| -> Flow { panic!("boom") })
+            .unwrap();
+        let port = kernel.external("main");
+        port.send(id, Message::signal(Tag(0))).unwrap();
+        // Let the bomb go off before collecting the report.
+        kernel.wait_quiescent();
+        kernel.shutdown();
+    }
+}

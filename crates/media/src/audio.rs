@@ -1,0 +1,193 @@
+//! Audio: a clocked sample source and the paper's clock-driven **active
+//! sink** — "audio devices that have their own timing control can be
+//! implemented as a clock-driven active sink" (§3.1).
+
+use crate::stats::TimingStats;
+use infopipes::{Item, ItemType, Producer, Stage, StageCtx};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+use typespec::{QosKey, QosRange, Typespec};
+
+/// One audio buffer's worth of samples.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample-block sequence number.
+    pub seq: u64,
+    /// Nominal playback time (microseconds of stream time).
+    pub pts_us: u64,
+    /// Synthetic PCM data.
+    pub data: Vec<u8>,
+}
+
+/// A passive source producing sample blocks at a nominal block rate.
+pub struct AudioSource {
+    block_count: u64,
+    block_us: u64,
+    block_bytes: usize,
+    next: u64,
+}
+
+impl AudioSource {
+    /// Creates a source of `block_count` blocks, each covering
+    /// `block_us` microseconds of audio with `block_bytes` bytes.
+    #[must_use]
+    pub fn new(block_count: u64, block_us: u64, block_bytes: usize) -> AudioSource {
+        AudioSource {
+            block_count,
+            block_us,
+            block_bytes,
+            next: 0,
+        }
+    }
+}
+
+impl Stage for AudioSource {
+    fn name(&self) -> &str {
+        "audio-source"
+    }
+
+    fn offers(&self) -> Typespec {
+        let rate = 1_000_000.0 / self.block_us as f64;
+        Typespec::with_item_type(ItemType::of::<Sample>())
+            .with_qos(QosKey::SampleRateHz, QosRange::exactly(rate))
+    }
+}
+
+impl Producer for AudioSource {
+    fn pull(&mut self, _ctx: &mut StageCtx<'_, '_>) -> Option<Item> {
+        if self.next >= self.block_count {
+            return None;
+        }
+        let seq = self.next;
+        self.next += 1;
+        let sample = Sample {
+            seq,
+            pts_us: seq * self.block_us,
+            data: crate::frame::synth_payload(seq, self.block_bytes),
+        };
+        Some(Item::cloneable(sample).with_seq(seq))
+    }
+}
+
+/// Statistics collected by an [`AudioDevice`].
+#[derive(Clone, Debug, Default)]
+pub struct AudioStats {
+    /// Blocks played on time.
+    pub on_time: u64,
+    /// Blocks that were not available when their deadline arrived.
+    pub deadline_misses: u64,
+    /// Playback timing.
+    pub timing: TimingStats,
+}
+
+/// The paper's clock-driven active sink: it *owns its section's activity*,
+/// pulling one sample block per period of its own clock. A block that is
+/// not ready when the device needs it is a deadline miss — the quantity
+/// the priority experiments (E8) measure.
+pub struct AudioDevice {
+    period: Duration,
+    stats: Arc<Mutex<AudioStats>>,
+}
+
+impl AudioDevice {
+    /// Creates a device playing one block per `period`, plus a handle on
+    /// its statistics.
+    #[must_use]
+    pub fn new(period: Duration) -> (AudioDevice, Arc<Mutex<AudioStats>>) {
+        let stats = Arc::new(Mutex::new(AudioStats::default()));
+        (
+            AudioDevice {
+                period,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl Stage for AudioDevice {
+    fn name(&self) -> &str {
+        "audio-device"
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<Sample>())
+    }
+}
+
+impl infopipes::ActiveObject for AudioDevice {
+    fn run(&mut self, ctx: &mut StageCtx<'_, '_>) {
+        let mut next_deadline = ctx.now() + self.period;
+        loop {
+            if ctx.stopping() {
+                break;
+            }
+            // Ask for the next block. In a well-provisioned pipeline this
+            // returns before the deadline; if production is slow, the time
+            // we observe after the pull tells us we missed.
+            let Some(item) = ctx.get() else { break };
+            let arrived = ctx.now();
+            {
+                let mut stats = self.stats.lock();
+                if arrived > next_deadline {
+                    stats.deadline_misses += 1;
+                } else {
+                    stats.on_time += 1;
+                }
+            }
+            // Wait out the rest of the period (device paced by its own
+            // clock), then "play" the block.
+            if arrived < next_deadline && !ctx.sleep_until(next_deadline) {
+                break;
+            }
+            let played_at = ctx.now();
+            self.stats.lock().timing.record(played_at.as_micros());
+            drop(item);
+            next_deadline = next_deadline + self.period;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infopipes::Pipeline;
+    use mbthread::{Kernel, KernelConfig};
+
+    #[test]
+    fn audio_device_plays_blocks_at_its_own_rate() {
+        let kernel = Kernel::new(KernelConfig::virtual_time());
+        {
+            let pipeline = Pipeline::new(&kernel, "audio");
+            let src = pipeline.add_producer("src", AudioSource::new(5, 10_000, 64));
+            let (dev, stats) = AudioDevice::new(Duration::from_millis(10));
+            let sink = pipeline.add_active("sink", dev);
+            let _ = src >> sink;
+            let running = pipeline.start().unwrap();
+            assert_eq!(running.report().sections[0].owner_kind, "active-sink");
+            running.start_flow().unwrap();
+            running.wait_quiescent();
+            let s = stats.lock();
+            assert_eq!(s.on_time, 5);
+            assert_eq!(s.deadline_misses, 0);
+            // Playback at exact 10 ms marks under the virtual clock.
+            assert_eq!(
+                s.timing.arrivals_us(),
+                &[10_000, 20_000, 30_000, 40_000, 50_000]
+            );
+        }
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn source_offers_its_block_rate() {
+        let src = AudioSource::new(1, 20_000, 8);
+        let spec = src.offers();
+        assert_eq!(
+            spec.qos(&QosKey::SampleRateHz),
+            Some(QosRange::exactly(50.0))
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! The feedback-controlled drop filter of Fig. 1: "the filter drops when
+//! the network is congested... This lets us control which data is dropped
+//! rather than incurring arbitrary dropping in the network."
+
+use crate::frame::CompressedFrame;
+use infopipes::{ControlEvent, EventCtx, Function, Item, ItemType, Stage};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use typespec::Typespec;
+
+/// Counters kept by a [`PriorityDropFilter`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DropFilterStats {
+    /// Frames passed through.
+    pub passed: u64,
+    /// Frames dropped, by the filter's own choice.
+    pub dropped: u64,
+    /// The current drop level.
+    pub level: u8,
+}
+
+/// A function-style filter that discards frames *least-important-first*:
+/// level 0 passes everything, level 1 drops B frames, level 2 drops B and
+/// P, level 3 drops everything. The level is set at runtime by
+/// [`ControlEvent::SetDropLevel`] — typically from a feedback controller
+/// watching the consumer side.
+pub struct PriorityDropFilter {
+    stats: Arc<Mutex<DropFilterStats>>,
+}
+
+impl PriorityDropFilter {
+    /// Creates the filter (level 0) and a handle on its statistics.
+    #[must_use]
+    pub fn new() -> (PriorityDropFilter, Arc<Mutex<DropFilterStats>>) {
+        let stats = Arc::new(Mutex::new(DropFilterStats::default()));
+        (
+            PriorityDropFilter {
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl Stage for PriorityDropFilter {
+    fn name(&self) -> &str {
+        "priority-drop-filter"
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<CompressedFrame>())
+            .offering_event("set-drop-level")
+    }
+
+    fn on_event(&mut self, _ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {
+        if let ControlEvent::SetDropLevel(level) = event {
+            self.stats.lock().level = *level;
+        }
+    }
+}
+
+impl Function for PriorityDropFilter {
+    fn convert(&mut self, item: Item) -> Option<Item> {
+        let level = {
+            let stats = self.stats.lock();
+            stats.level
+        };
+        let drop = item
+            .payload_ref::<CompressedFrame>()
+            .is_some_and(|f| level >= f.ftype.drop_threshold());
+        let mut stats = self.stats.lock();
+        if drop {
+            stats.dropped += 1;
+            None
+        } else {
+            stats.passed += 1;
+            Some(item)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::synth_payload;
+    use crate::{FrameType, GopStructure};
+
+    fn frame(seq: u64) -> Item {
+        let gop = GopStructure::ibbp();
+        Item::cloneable(CompressedFrame {
+            seq,
+            pts_us: 0,
+            ftype: gop.frame_type(seq),
+            data: synth_payload(seq, 16),
+        })
+    }
+
+    fn kinds_passed(level: u8) -> Vec<FrameType> {
+        let (mut f, stats) = PriorityDropFilter::new();
+        stats.lock().level = level;
+        (0..9)
+            .filter_map(|s| f.convert(frame(s)))
+            .map(|i| i.expect::<CompressedFrame>().ftype)
+            .collect()
+    }
+
+    #[test]
+    fn level_zero_passes_everything() {
+        let kinds = kinds_passed(0);
+        assert_eq!(kinds.len(), 9);
+    }
+
+    #[test]
+    fn level_one_drops_only_b_frames() {
+        let kinds = kinds_passed(1);
+        assert!(!kinds.contains(&FrameType::B));
+        assert!(kinds.contains(&FrameType::P));
+        assert!(kinds.contains(&FrameType::I));
+        assert_eq!(kinds.len(), 3); // I P P in an IBBPBBPBB GOP
+    }
+
+    #[test]
+    fn level_two_keeps_only_i_frames() {
+        let kinds = kinds_passed(2);
+        assert_eq!(kinds, vec![FrameType::I]);
+    }
+
+    #[test]
+    fn level_three_drops_all() {
+        assert!(kinds_passed(3).is_empty());
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let (mut f, stats) = PriorityDropFilter::new();
+        stats.lock().level = 1;
+        for s in 0..9 {
+            let _ = f.convert(frame(s));
+        }
+        let s = *stats.lock();
+        assert_eq!(s.passed, 3);
+        assert_eq!(s.dropped, 6);
+    }
+}

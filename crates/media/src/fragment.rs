@@ -1,0 +1,287 @@
+//! Fragmentation to MTU-sized packets and reassembly, with loss
+//! tolerance: a frame missing any packet is discarded whole.
+
+use crate::frame::{CompressedFrame, FrameType};
+use infopipes::{Consumer, Item, ItemType, Stage, StageCtx};
+use serde::{Deserialize, Serialize};
+use typespec::{TypeError, Typespec};
+
+/// One network packet of a fragmented frame.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The frame this packet belongs to.
+    pub frame_seq: u64,
+    /// Packet index within the frame (0-based).
+    pub index: u32,
+    /// Total packets in the frame.
+    pub count: u32,
+    /// The frame's type (so in-network policies could prioritize too).
+    pub ftype: FrameType,
+    /// Presentation timestamp of the frame.
+    pub pts_us: u64,
+    /// This packet's slice of the payload.
+    pub bytes: Vec<u8>,
+}
+
+/// Splits compressed frames into packets of at most `mtu` payload bytes
+/// (push style — the natural direction for a fragmenter, §3.3).
+pub struct Fragmenter {
+    mtu: usize,
+}
+
+impl Fragmenter {
+    /// Creates a fragmenter with the given MTU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` is zero.
+    #[must_use]
+    pub fn new(mtu: usize) -> Fragmenter {
+        assert!(mtu > 0, "MTU must be positive");
+        Fragmenter { mtu }
+    }
+}
+
+impl Stage for Fragmenter {
+    fn name(&self) -> &str {
+        "fragmenter"
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<CompressedFrame>())
+    }
+
+    fn transform_spec(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        Ok(input.clone().map_item(ItemType::of::<Packet>()))
+    }
+}
+
+impl Consumer for Fragmenter {
+    fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
+        let meta = item.meta;
+        let frame = item.expect::<CompressedFrame>();
+        let chunks: Vec<&[u8]> = if frame.data.is_empty() {
+            vec![&[][..]]
+        } else {
+            frame.data.chunks(self.mtu).collect()
+        };
+        let count = u32::try_from(chunks.len()).unwrap_or(u32::MAX);
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let pkt = Packet {
+                frame_seq: frame.seq,
+                index: u32::try_from(i).unwrap_or(u32::MAX),
+                count,
+                ftype: frame.ftype,
+                pts_us: frame.pts_us,
+                bytes: chunk.to_vec(),
+            };
+            let mut out = Item::cloneable(pkt);
+            out.meta = meta;
+            ctx.put(out);
+        }
+    }
+}
+
+/// Reassembles packets into frames (push style). A frame with missing or
+/// out-of-order-lost packets is discarded when the next frame begins.
+pub struct Defragmenter {
+    current: Option<PartialFrame>,
+    /// Frames discarded because packets were lost.
+    pub incomplete_dropped: u64,
+}
+
+struct PartialFrame {
+    frame_seq: u64,
+    count: u32,
+    ftype: FrameType,
+    pts_us: u64,
+    got: u32,
+    bytes: Vec<u8>,
+}
+
+impl Defragmenter {
+    /// Creates an empty reassembler.
+    #[must_use]
+    pub fn new() -> Defragmenter {
+        Defragmenter {
+            current: None,
+            incomplete_dropped: 0,
+        }
+    }
+
+    fn flush_incomplete(&mut self) {
+        if self.current.take().is_some() {
+            self.incomplete_dropped += 1;
+        }
+    }
+}
+
+impl Default for Defragmenter {
+    fn default() -> Self {
+        Defragmenter::new()
+    }
+}
+
+impl Stage for Defragmenter {
+    fn name(&self) -> &str {
+        "defragmenter"
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<Packet>())
+    }
+
+    fn transform_spec(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        Ok(input.clone().map_item(ItemType::of::<CompressedFrame>()))
+    }
+}
+
+impl Consumer for Defragmenter {
+    fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
+        let meta = item.meta;
+        let pkt = item.expect::<Packet>();
+
+        // A new frame begins: anything unfinished is lost.
+        let switch = self
+            .current
+            .as_ref()
+            .is_none_or(|p| p.frame_seq != pkt.frame_seq);
+        if switch {
+            self.flush_incomplete();
+            if pkt.index != 0 {
+                // Mid-frame join (head packets lost): unusable.
+                self.incomplete_dropped += 1;
+                return;
+            }
+            self.current = Some(PartialFrame {
+                frame_seq: pkt.frame_seq,
+                count: pkt.count,
+                ftype: pkt.ftype,
+                pts_us: pkt.pts_us,
+                got: 0,
+                bytes: Vec::new(),
+            });
+        }
+        let Some(cur) = self.current.as_mut() else {
+            return;
+        };
+        if pkt.index != cur.got {
+            // A gap inside the frame: discard it.
+            self.flush_incomplete();
+            return;
+        }
+        cur.bytes.extend_from_slice(&pkt.bytes);
+        cur.got += 1;
+        if cur.got == cur.count {
+            let done = self.current.take().expect("current frame exists");
+            let frame = CompressedFrame {
+                seq: done.frame_seq,
+                pts_us: done.pts_us,
+                ftype: done.ftype,
+                data: done.bytes,
+            };
+            let mut out = Item::cloneable(frame);
+            out.meta = meta;
+            ctx.put(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::synth_payload;
+    use infopipes::helpers::{CollectSink, IterSource};
+    use infopipes::{FreePump, Pipeline};
+    use mbthread::{Kernel, KernelConfig};
+
+    fn frame(seq: u64, size: usize) -> CompressedFrame {
+        CompressedFrame {
+            seq,
+            pts_us: seq * 1000,
+            ftype: crate::GopStructure::ibbp().frame_type(seq),
+            data: synth_payload(seq, size),
+        }
+    }
+
+    fn run_frag_defrag(
+        frames: Vec<CompressedFrame>,
+        mtu: usize,
+        lose: impl Fn(&Packet) -> bool + Clone + Send + 'static,
+    ) -> Vec<CompressedFrame> {
+        let kernel = Kernel::new(KernelConfig::virtual_time());
+        let out_frames = {
+            let pipeline = Pipeline::new(&kernel, "frag");
+            let src = pipeline.add_producer("src", IterSource::new("src", frames));
+            let pump = pipeline.add_pump("pump", FreePump::new());
+            let frag = pipeline.add_consumer("frag", Fragmenter::new(mtu));
+            let lossy = pipeline.add_function(
+                "lossy",
+                infopipes::helpers::FnFunction::new("lossy", move |p: Packet| {
+                    if lose(&p) {
+                        None
+                    } else {
+                        Some(p)
+                    }
+                }),
+            );
+            let defrag = pipeline.add_consumer("defrag", Defragmenter::new());
+            let (sink, out) = CollectSink::<CompressedFrame>::new("sink");
+            let sink = pipeline.add_consumer("sink", sink);
+            let _ = src >> pump >> frag >> lossy >> defrag >> sink;
+            let running = pipeline.start().unwrap();
+            running.start_flow().unwrap();
+            running.wait_quiescent();
+            let v = out.lock().clone();
+            v
+        };
+        kernel.shutdown();
+        out_frames
+    }
+
+    #[test]
+    fn lossless_fragmentation_round_trips() {
+        let frames: Vec<CompressedFrame> = (0..6).map(|s| frame(s, 100)).collect();
+        let got = run_frag_defrag(frames.clone(), 32, |_| false);
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn mtu_larger_than_frame_is_one_packet() {
+        let frames = vec![frame(0, 10)];
+        let got = run_frag_defrag(frames.clone(), 1000, |_| false);
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn losing_one_packet_discards_only_that_frame() {
+        let frames: Vec<CompressedFrame> = (0..4).map(|s| frame(s, 100)).collect();
+        // Lose packet 1 of frame 2.
+        let got = run_frag_defrag(frames.clone(), 32, |p| p.frame_seq == 2 && p.index == 1);
+        let seqs: Vec<u64> = got.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 3]);
+        // The surviving frames are byte-identical.
+        assert_eq!(got[0], frames[0]);
+        assert_eq!(got[2], frames[3]);
+    }
+
+    #[test]
+    fn losing_head_packet_discards_the_frame() {
+        let frames: Vec<CompressedFrame> = (0..3).map(|s| frame(s, 100)).collect();
+        let got = run_frag_defrag(frames, 32, |p| p.frame_seq == 1 && p.index == 0);
+        let seqs: Vec<u64> = got.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_frames_survive_fragmentation() {
+        let frames = vec![CompressedFrame {
+            seq: 0,
+            pts_us: 0,
+            ftype: crate::FrameType::I,
+            data: Vec::new(),
+        }];
+        let got = run_frag_defrag(frames.clone(), 16, |_| false);
+        assert_eq!(got, frames);
+    }
+}

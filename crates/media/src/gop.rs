@@ -1,0 +1,164 @@
+//! Group-of-pictures structure: which frames are I, P, or B, and who
+//! depends on whom.
+
+use crate::frame::FrameType;
+use serde::{Deserialize, Serialize};
+
+/// Describes the repeating frame pattern of the synthetic stream.
+///
+/// A GOP of `gop_size` frames starts with an I frame; every
+/// `b_run + 1`-th following frame is a P frame with `b_run` B frames in
+/// between: `gop_size = 9, b_run = 2` gives the classic `I B B P B B P B B`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GopStructure {
+    /// Frames per group of pictures (≥ 1).
+    pub gop_size: u64,
+    /// Consecutive B frames between references.
+    pub b_run: u64,
+}
+
+impl GopStructure {
+    /// The classic `I B B P B B P B B` pattern.
+    #[must_use]
+    pub fn ibbp() -> GopStructure {
+        GopStructure {
+            gop_size: 9,
+            b_run: 2,
+        }
+    }
+
+    /// An intra-only stream (every frame decodable alone).
+    #[must_use]
+    pub fn intra_only() -> GopStructure {
+        GopStructure {
+            gop_size: 1,
+            b_run: 0,
+        }
+    }
+
+    /// A custom structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop_size` is zero.
+    #[must_use]
+    pub fn new(gop_size: u64, b_run: u64) -> GopStructure {
+        assert!(gop_size >= 1, "GOP size must be at least 1");
+        GopStructure { gop_size, b_run }
+    }
+
+    /// The frame type at stream position `seq`.
+    #[must_use]
+    pub fn frame_type(&self, seq: u64) -> FrameType {
+        let pos = seq % self.gop_size;
+        if pos == 0 {
+            FrameType::I
+        } else if self.b_run == 0 || pos % (self.b_run + 1) == 0 {
+            FrameType::P
+        } else {
+            FrameType::B
+        }
+    }
+
+    /// The reference frame `seq` depends on, if any: B and P frames need
+    /// the nearest preceding reference (I or P) in the same GOP.
+    #[must_use]
+    pub fn dependency(&self, seq: u64) -> Option<u64> {
+        if self.frame_type(seq) == FrameType::I {
+            return None;
+        }
+        let gop_start = seq - (seq % self.gop_size);
+        (gop_start..seq)
+            .rev()
+            .find(|&s| self.frame_type(s).is_reference())
+    }
+
+    /// The full transitive set of frames `seq` needs (excluding itself),
+    /// nearest first.
+    #[must_use]
+    pub fn dependency_closure(&self, seq: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = seq;
+        while let Some(dep) = self.dependency(cur) {
+            out.push(dep);
+            cur = dep;
+        }
+        out
+    }
+
+    /// Whether `seq` is decodable given the set of frames actually
+    /// available (delivered *and* decodable themselves).
+    #[must_use]
+    pub fn decodable(&self, seq: u64, decoded: &dyn Fn(u64) -> bool) -> bool {
+        match self.dependency(seq) {
+            None => true,
+            Some(dep) => decoded(dep),
+        }
+    }
+}
+
+impl Default for GopStructure {
+    fn default() -> Self {
+        GopStructure::ibbp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibbp_pattern_matches_the_classic_layout() {
+        let g = GopStructure::ibbp();
+        let types: String = (0..9).map(|s| g.frame_type(s).to_string()).collect();
+        assert_eq!(types, "IBBPBBPBB");
+        // The next GOP starts over.
+        assert_eq!(g.frame_type(9), FrameType::I);
+    }
+
+    #[test]
+    fn intra_only_never_depends() {
+        let g = GopStructure::intra_only();
+        for s in 0..20 {
+            assert_eq!(g.frame_type(s), FrameType::I);
+            assert_eq!(g.dependency(s), None);
+        }
+    }
+
+    #[test]
+    fn dependencies_point_at_nearest_reference() {
+        let g = GopStructure::ibbp(); // I B B P B B P B B
+        assert_eq!(g.dependency(0), None); // I
+        assert_eq!(g.dependency(1), Some(0)); // B -> I
+        assert_eq!(g.dependency(2), Some(0)); // B -> I
+        assert_eq!(g.dependency(3), Some(0)); // P -> I
+        assert_eq!(g.dependency(4), Some(3)); // B -> P
+        assert_eq!(g.dependency(6), Some(3)); // P -> P
+        assert_eq!(g.dependency(8), Some(6)); // B -> P
+        // Nothing crosses a GOP boundary.
+        assert_eq!(g.dependency(9), None);
+        assert_eq!(g.dependency(10), Some(9));
+    }
+
+    #[test]
+    fn dependency_closure_chains_to_the_i_frame() {
+        let g = GopStructure::ibbp();
+        assert_eq!(g.dependency_closure(8), vec![6, 3, 0]);
+        assert_eq!(g.dependency_closure(0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn decodable_respects_missing_references() {
+        let g = GopStructure::ibbp();
+        // Frame 6 (P) depends on 3 (P): if 3 is gone, 6 is not decodable.
+        assert!(!g.decodable(6, &|s| s != 3));
+        assert!(g.decodable(6, &|_| true));
+        assert!(g.decodable(0, &|_| false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_gop_size_is_rejected() {
+        let _ = GopStructure::new(0, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Length-prefixed framing for stream transports (TCP netpipes).
+//!
+//! Each frame is `[kind: u8][len: u32 LE][payload: len bytes]`.
+
+use std::io::{self, Read, Write};
+
+/// What a frame carries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A marshalled data item.
+    Data,
+    /// A marshalled control event.
+    Event,
+    /// A protocol message (factory requests, spec queries).
+    Control,
+    /// End of stream; no payload.
+    Fin,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Event => 1,
+            FrameKind::Control => 2,
+            FrameKind::Fin => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<FrameKind> {
+        Ok(match b {
+            0 => FrameKind::Data,
+            1 => FrameKind::Event,
+            2 => FrameKind::Control,
+            3 => FrameKind::Fin,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame kind {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// Maximum accepted frame payload (64 MiB): a corrupted length prefix must
+/// not allocate unbounded memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
+    w.write_all(&[kind.to_byte()])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end of stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects malformed kinds and oversized lengths.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>> {
+    let mut kind_byte = [0u8; 1];
+    match r.read_exact(&mut kind_byte) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let kind = FrameKind::from_byte(kind_byte[0])?;
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Data, b"hello").unwrap();
+        write_frame(&mut buf, FrameKind::Event, b"").unwrap();
+        write_frame(&mut buf, FrameKind::Fin, b"").unwrap();
+
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur).unwrap(),
+            Some((FrameKind::Data, b"hello".to_vec()))
+        );
+        assert_eq!(
+            read_frame(&mut cur).unwrap(),
+            Some((FrameKind::Event, Vec::new()))
+        );
+        assert_eq!(
+            read_frame(&mut cur).unwrap(),
+            Some((FrameKind::Fin, Vec::new()))
+        );
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut cur = Cursor::new(vec![9u8, 0, 0, 0, 0]);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = vec![0u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Data, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+}

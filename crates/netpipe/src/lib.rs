@@ -1,0 +1,43 @@
+//! Netpipes: remote transmission for Infopipes (§2.4 of the paper).
+//!
+//! "Different transport protocols can be easily integrated into the
+//! Infopipe framework as netpipes. These netpipes support plain data flows
+//! and may manage low-level properties such as bandwidth and latency.
+//! Marshalling filters on either side translate the raw data flow to a
+//! higher-level information flow and vice-versa."
+//!
+//! This crate provides:
+//!
+//! * a from-scratch binary **wire codec** ([`wire`]) implementing serde's
+//!   `Serializer`/`Deserializer`,
+//! * **marshalling filters** ([`Marshal`], [`Unmarshal`]) between typed
+//!   items and [`WireBytes`], which also rewrite the Typespec *location*
+//!   property — the only components allowed to (§2.4),
+//! * a **simulated network** ([`SimLink`]) with configurable latency,
+//!   jitter, bandwidth, and a bounded queue whose overflow produces the
+//!   "arbitrary dropping in the network" the Fig. 1 experiments need —
+//!   deterministic under virtual-time kernels,
+//! * a **TCP netpipe** ([`TcpSendEnd`], [`spawn_tcp_receiver`]) over real
+//!   sockets, where network packets are mapped to kernel messages by
+//!   reader threads,
+//! * **remote component factories** and a remote Typespec query
+//!   ([`remote`]): a `RemoteHost` builds a consumer-side pipeline from a
+//!   client's component list and forwards control events in both
+//!   directions.
+
+#![warn(missing_docs)]
+
+mod framing;
+mod marshal;
+mod proto;
+pub mod remote;
+mod sim;
+mod tcp;
+pub mod wire;
+
+pub use framing::{read_frame, write_frame, FrameKind};
+pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
+pub use proto::WireEvent;
+pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
+pub use sim::{LinkStats, SimConfig, SimLink, SimSendEnd};
+pub use tcp::{spawn_tcp_receiver, TcpSendEnd};

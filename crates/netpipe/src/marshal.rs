@@ -1,0 +1,245 @@
+//! Marshalling filters: typed items ↔ raw wire bytes.
+//!
+//! These are the components on either side of a netpipe that "translate
+//! the raw data flow to and from a higher-level information flow" and
+//! "encapsulate the QoS mapping of netpipe properties and information flow
+//! properties" (§2.4). They are also where the Typespec *location*
+//! property changes: a [`Marshal`] stamps the producer node, an
+//! [`Unmarshal`] stamps the consumer node.
+
+use crate::wire;
+use infopipes::{Function, Item, ItemType, Stage};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use typespec::{TypeError, Typespec};
+
+/// The raw item type flowing through a netpipe: one marshalled message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireBytes(pub Vec<u8>);
+
+impl WireBytes {
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Serializes typed items to [`WireBytes`] (function style).
+pub struct Marshal<T> {
+    name: String,
+    /// The node name stamped into the outgoing location property.
+    from_node: Option<String>,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T: Serialize + Send + 'static> Marshal<T> {
+    /// Creates a marshaller.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Marshal<T> {
+        Marshal {
+            name: name.into(),
+            from_node: None,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Also record the producer-side node name in the flow's location
+    /// property.
+    #[must_use]
+    pub fn at_node(mut self, node: impl Into<String>) -> Marshal<T> {
+        self.from_node = Some(node.into());
+        self
+    }
+}
+
+impl<T: Serialize + Send + 'static> Stage for Marshal<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<T>())
+    }
+
+    fn transform_spec(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        let mut out = input.clone().map_item(ItemType::of::<WireBytes>());
+        if let Some(node) = &self.from_node {
+            out = out.at_location(node.clone());
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Send + 'static> Function for Marshal<T> {
+    fn convert(&mut self, item: Item) -> Option<Item> {
+        let meta = item.meta;
+        let (value, _) = item.into_payload::<T>().ok()?;
+        let bytes = wire::to_bytes(&value).ok()?;
+        let mut out = Item::cloneable(WireBytes(bytes));
+        out.meta = meta;
+        Some(out)
+    }
+}
+
+/// Counters kept by an [`Unmarshal`] filter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnmarshalStats {
+    /// Messages decoded.
+    pub decoded: u64,
+    /// Messages dropped because decoding failed (corruption).
+    pub errors: u64,
+}
+
+/// Deserializes [`WireBytes`] back to typed items (function style).
+/// Undecodable messages are dropped and counted, never propagated.
+pub struct Unmarshal<T> {
+    name: String,
+    to_node: Option<String>,
+    stats: Arc<Mutex<UnmarshalStats>>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: DeserializeOwned + Clone + Send + 'static> Unmarshal<T> {
+    /// Creates an unmarshaller.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Unmarshal<T> {
+        Unmarshal {
+            name: name.into(),
+            to_node: None,
+            stats: Arc::new(Mutex::new(UnmarshalStats::default())),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Also record the consumer-side node name in the flow's location
+    /// property.
+    #[must_use]
+    pub fn at_node(mut self, node: impl Into<String>) -> Unmarshal<T> {
+        self.to_node = Some(node.into());
+        self
+    }
+
+    /// A handle on the decode statistics.
+    #[must_use]
+    pub fn stats_handle(&self) -> Arc<Mutex<UnmarshalStats>> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl<T: DeserializeOwned + Clone + Send + 'static> Stage for Unmarshal<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+
+    fn transform_spec(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        // Crossing the netpipe: the location changes, so start from a
+        // location-free copy and stamp the consumer node.
+        let mut out = Typespec::with_item_type(ItemType::of::<T>());
+        for (k, r) in input.qos_map().iter() {
+            out.qos_map_mut().set(k.clone(), *r);
+        }
+        if let Some(node) = &self.to_node {
+            out = out.at_location(node.clone());
+        }
+        Ok(out)
+    }
+}
+
+impl<T: DeserializeOwned + Clone + Send + 'static> Function for Unmarshal<T> {
+    fn convert(&mut self, item: Item) -> Option<Item> {
+        let meta = item.meta;
+        let (bytes, _) = item.into_payload::<WireBytes>().ok()?;
+        match wire::from_bytes::<T>(&bytes.0) {
+            Ok(value) => {
+                self.stats.lock().decoded += 1;
+                let mut out = Item::cloneable(value);
+                out.meta = meta;
+                Some(out)
+            }
+            Err(_) => {
+                self.stats.lock().errors += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marshal_unmarshal_round_trips_items() {
+        let mut m = Marshal::<media::MidiEvent>::new("m");
+        let mut u = Unmarshal::<media::MidiEvent>::new("u");
+        let ev = media::MidiEvent {
+            channel: 3,
+            note: 64,
+            velocity: 100,
+            at_us: 42,
+        };
+        let wire_item = m.convert(Item::cloneable(ev).with_seq(9)).unwrap();
+        assert!(wire_item.is::<WireBytes>());
+        assert_eq!(wire_item.meta.seq, 9);
+        let back = u.convert(wire_item).unwrap();
+        assert_eq!(back.meta.seq, 9);
+        assert_eq!(back.expect::<media::MidiEvent>(), ev);
+    }
+
+    #[test]
+    fn unmarshal_counts_corrupt_messages() {
+        let u = Unmarshal::<media::MidiEvent>::new("u");
+        let stats = u.stats_handle();
+        let mut u = u;
+        let garbage = Item::cloneable(WireBytes(vec![1, 2, 3]));
+        assert!(u.convert(garbage).is_none());
+        assert_eq!(stats.lock().errors, 1);
+        assert_eq!(stats.lock().decoded, 0);
+    }
+
+    #[test]
+    fn specs_cross_the_location_boundary() {
+        use typespec::{QosKey, QosRange};
+        let m = Marshal::<media::MidiEvent>::new("m").at_node("producer");
+        let u = Unmarshal::<media::MidiEvent>::new("u").at_node("consumer");
+
+        let flow = Typespec::of::<media::MidiEvent>()
+            .with_qos(QosKey::FrameRateHz, QosRange::exactly(30.0));
+        let on_wire = m.transform_spec(&flow).unwrap();
+        assert_eq!(on_wire.location(), Some("producer"));
+        assert!(on_wire.item().compatible_with(&ItemType::of::<WireBytes>()));
+
+        let delivered = u.transform_spec(&on_wire).unwrap();
+        assert_eq!(delivered.location(), Some("consumer"));
+        assert!(delivered
+            .item()
+            .compatible_with(&ItemType::of::<media::MidiEvent>()));
+        // QoS hints survive the crossing.
+        assert_eq!(
+            delivered.qos(&QosKey::FrameRateHz),
+            Some(QosRange::exactly(30.0))
+        );
+    }
+
+    #[test]
+    fn wire_bytes_basics() {
+        let w = WireBytes(vec![1, 2]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert!(WireBytes(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,472 @@
+//! Remote component factories and Typespec queries (§2.4).
+//!
+//! "In addition to netpipes, the Infopipe platform provides protocols and
+//! factories for the creation of remote Infopipe components. Remote
+//! Typespec queries also require a middleware protocol as well as a
+//! mechanism for property marshalling."
+//!
+//! A [`RemoteHost`] owns a [`ComponentRegistry`] of named component
+//! factories. A [`RemoteClient`] connects, names the chain of components
+//! it wants instantiated behind the netpipe (`CreatePipeline`), may query
+//! the resulting flow's Typespec (`QuerySpec`), and then streams data
+//! frames; control events are forwarded in both directions.
+
+use crate::framing::{read_frame, write_frame, FrameKind};
+use crate::marshal::WireBytes;
+use crate::proto::{CtrlMsg, WireEvent};
+use crate::wire;
+use infopipes::{BufferSpec, ControlEvent, FreePump, Item, Pipeline, Style};
+use mbthread::Kernel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors of the remote factory protocol.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// A socket error.
+    Io(std::io::Error),
+    /// A malformed protocol message.
+    Wire(String),
+    /// The peer violated the protocol (wrong message at the wrong time).
+    Protocol(String),
+    /// The host refused the request (unknown component, bad composition).
+    Refused(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Io(e) => write!(f, "i/o error: {e}"),
+            RemoteError::Wire(s) => write!(f, "malformed message: {s}"),
+            RemoteError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            RemoteError::Refused(s) => write!(f, "host refused: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        RemoteError::Io(e)
+    }
+}
+
+/// Named factories for components a host can instantiate on behalf of
+/// remote clients.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    factories: HashMap<String, Box<dyn Fn() -> Style + Send + Sync>>,
+}
+
+impl ComponentRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> ComponentRegistry {
+        ComponentRegistry::default()
+    }
+
+    /// Registers a factory under a name (replacing any previous one).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Style + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates a registered component.
+    #[must_use]
+    pub fn make(&self, name: &str) -> Option<Style> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// The registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.factories.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// A marshalled Typespec summary, as returned by remote spec queries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecSummary {
+    /// The item type's name.
+    pub item: String,
+    /// The location property at the end of the remote chain.
+    pub location: Option<String>,
+    /// QoS entries: (dimension, min, max).
+    pub qos: Vec<(String, f64, f64)>,
+}
+
+fn send_ctrl(stream: &Mutex<TcpStream>, msg: &CtrlMsg) -> Result<(), RemoteError> {
+    let bytes = wire::to_bytes(msg).map_err(|e| RemoteError::Wire(e.to_string()))?;
+    let mut s = stream.lock();
+    write_frame(&mut *s, FrameKind::Control, &bytes)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Host
+// ---------------------------------------------------------------------
+
+/// Serves remote-creation requests on a listening socket.
+pub struct RemoteHost {
+    registry: ComponentRegistry,
+    node_name: String,
+}
+
+impl RemoteHost {
+    /// Creates a host publishing the given registry, reporting
+    /// `node_name` as its location.
+    #[must_use]
+    pub fn new(node_name: impl Into<String>, registry: ComponentRegistry) -> RemoteHost {
+        RemoteHost {
+            registry,
+            node_name: node_name.into(),
+        }
+    }
+
+    /// Serves one client connection to completion (blocking): builds the
+    /// requested pipeline on `kernel`, streams data into it, forwards
+    /// events both ways, and returns when the client finishes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RemoteError`] from the socket or protocol.
+    pub fn serve_connection(&self, stream: TcpStream, kernel: &Kernel) -> Result<(), RemoteError> {
+        let write_half = Arc::new(Mutex::new(stream.try_clone()?));
+        let mut reader = BufReader::new(stream);
+
+        // 1. Expect CreatePipeline.
+        let components = match read_ctrl(&mut reader)? {
+            CtrlMsg::CreatePipeline { components } => components,
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected CreatePipeline, got {other:?}"
+                )))
+            }
+        };
+
+        // 2. Build: inbox >> pump >> components...
+        let pipeline = Pipeline::new(kernel, "remote");
+        let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(256));
+        let pump = pipeline.add_pump("net-pump", FreePump::new());
+        if let Err(e) = pipeline.connect(inbox, pump) {
+            return refuse(&write_half, &e.to_string());
+        }
+        let mut prev = pump;
+        for name in &components {
+            let Some(style) = self.registry.make(name) else {
+                return refuse(&write_half, &format!("unknown component '{name}'"));
+            };
+            let node = pipeline.add_style(name, style);
+            if let Err(e) = pipeline.connect(prev, node) {
+                return refuse(&write_half, &e.to_string());
+            }
+            prev = node;
+        }
+
+        // Capture the end-of-chain spec for queries before starting.
+        let spec = pipeline
+            .query_spec(prev)
+            .map(|s| CtrlMsg::SpecReply {
+                item: s.item().name().to_owned(),
+                location: Some(
+                    s.location()
+                        .map_or_else(|| self.node_name.clone(), ToOwned::to_owned),
+                ),
+                qos: s
+                    .qos_map()
+                    .iter()
+                    .map(|(k, r)| (k.to_string(), r.min(), r.max()))
+                    .collect(),
+            })
+            .map_err(|e| e.to_string());
+
+        let running = match pipeline.start() {
+            Ok(r) => r,
+            Err(e) => return refuse(&write_half, &e.to_string()),
+        };
+        running
+            .start_flow()
+            .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+        send_ctrl(&write_half, &CtrlMsg::Created { error: None })?;
+
+        // 3. Forward outbound events (host pipeline → client).
+        let sub = running.subscribe();
+        let ev_write = Arc::clone(&write_half);
+        let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag2 = Arc::clone(&stop_flag);
+        let forwarder = std::thread::Builder::new()
+            .name("remote-event-fwd".into())
+            .spawn(move || {
+                while !stop_flag2.load(std::sync::atomic::Ordering::Relaxed) {
+                    if let Some(ev) = sub.recv_timeout(Duration::from_millis(50)) {
+                        if matches!(ev, ControlEvent::Start | ControlEvent::Stop) {
+                            continue;
+                        }
+                        if let Ok(bytes) = wire::to_bytes(&WireEvent::from(&ev)) {
+                            let mut s = ev_write.lock();
+                            if write_frame(&mut *s, FrameKind::Event, &bytes).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn event forwarder");
+
+        // 4. Main frame loop.
+        let result = loop {
+            match read_frame(&mut reader) {
+                Ok(Some((FrameKind::Data, payload))) => {
+                    let _ = inbox_sender.put(Item::cloneable(WireBytes(payload)));
+                }
+                Ok(Some((FrameKind::Event, payload))) => {
+                    match wire::from_bytes::<WireEvent>(&payload) {
+                        Ok(ev) => {
+                            let _ = running.send_event(ev.into());
+                        }
+                        Err(e) => break Err(RemoteError::Wire(e.to_string())),
+                    }
+                }
+                Ok(Some((FrameKind::Control, payload))) => {
+                    match wire::from_bytes::<CtrlMsg>(&payload) {
+                        Ok(CtrlMsg::QuerySpec) => match &spec {
+                            Ok(reply) => send_ctrl(&write_half, reply)?,
+                            Err(e) => {
+                                send_ctrl(
+                                    &write_half,
+                                    &CtrlMsg::Created {
+                                        error: Some(e.clone()),
+                                    },
+                                )?;
+                            }
+                        },
+                        Ok(other) => {
+                            break Err(RemoteError::Protocol(format!(
+                                "unexpected mid-stream message {other:?}"
+                            )))
+                        }
+                        Err(e) => break Err(RemoteError::Wire(e.to_string())),
+                    }
+                }
+                Ok(Some((FrameKind::Fin, _))) | Ok(None) => {
+                    inbox_sender.finish();
+                    break Ok(());
+                }
+                Err(e) => {
+                    inbox_sender.finish();
+                    break Err(RemoteError::Io(e));
+                }
+            }
+        };
+        stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = forwarder.join();
+        result
+    }
+}
+
+impl fmt::Debug for RemoteHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteHost")
+            .field("node", &self.node_name)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+fn refuse(write_half: &Mutex<TcpStream>, error: &str) -> Result<(), RemoteError> {
+    send_ctrl(
+        write_half,
+        &CtrlMsg::Created {
+            error: Some(error.to_owned()),
+        },
+    )?;
+    Err(RemoteError::Refused(error.to_owned()))
+}
+
+fn read_ctrl(reader: &mut BufReader<TcpStream>) -> Result<CtrlMsg, RemoteError> {
+    loop {
+        match read_frame(reader)? {
+            Some((FrameKind::Control, payload)) => {
+                return wire::from_bytes(&payload).map_err(|e| RemoteError::Wire(e.to_string()));
+            }
+            Some((FrameKind::Event, _)) => { /* not expected during setup; skip */ }
+            Some((other, _)) => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected a control frame, got {other:?}"
+                )))
+            }
+            None => return Err(RemoteError::Protocol("connection closed".into())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// The client side of a remote-creation session.
+pub struct RemoteClient {
+    /// Read half; consumed by [`RemoteClient::spawn_event_reader`].
+    reader: Option<BufReader<TcpStream>>,
+    write: Arc<Mutex<TcpStream>>,
+    data_stream: TcpStream,
+}
+
+impl RemoteClient {
+    /// Connects to a [`RemoteHost`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: std::net::SocketAddr) -> Result<RemoteClient, RemoteError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(RemoteClient {
+            reader: Some(BufReader::new(stream.try_clone()?)),
+            write: Arc::new(Mutex::new(stream.try_clone()?)),
+            data_stream: stream,
+        })
+    }
+
+    /// Asks the host to instantiate the named component chain behind its
+    /// netpipe end.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Refused`] with the host's reason, or transport
+    /// errors.
+    pub fn create_pipeline(&mut self, components: &[&str]) -> Result<(), RemoteError> {
+        send_ctrl(
+            &self.write,
+            &CtrlMsg::CreatePipeline {
+                components: components.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        )?;
+        let reader = self
+            .reader
+            .as_mut()
+            .ok_or_else(|| RemoteError::Protocol("setup phase is over".into()))?;
+        match read_ctrl_client(reader)? {
+            CtrlMsg::Created { error: None } => Ok(()),
+            CtrlMsg::Created { error: Some(e) } => Err(RemoteError::Refused(e)),
+            other => Err(RemoteError::Protocol(format!(
+                "expected Created, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries the Typespec at the end of the remote chain (§2.4's remote
+    /// Typespec query). Must be called before
+    /// [`RemoteClient::spawn_event_reader`].
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn query_spec(&mut self) -> Result<SpecSummary, RemoteError> {
+        send_ctrl(&self.write, &CtrlMsg::QuerySpec)?;
+        let reader = self
+            .reader
+            .as_mut()
+            .ok_or_else(|| RemoteError::Protocol("setup phase is over".into()))?;
+        match read_ctrl_client(reader)? {
+            CtrlMsg::SpecReply {
+                item,
+                location,
+                qos,
+            } => Ok(SpecSummary {
+                item,
+                location,
+                qos,
+            }),
+            CtrlMsg::Created { error: Some(e) } => Err(RemoteError::Refused(e)),
+            other => Err(RemoteError::Protocol(format!(
+                "expected SpecReply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The producer-side netpipe end: add it as the local pipeline's sink.
+    /// Ends the setup phase for writes (all further writes go through the
+    /// send end's writer thread).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors while cloning the stream.
+    pub fn send_end(&self, name: impl Into<String>) -> Result<crate::TcpSendEnd, RemoteError> {
+        Ok(crate::TcpSendEnd::new(name, self.data_stream.try_clone()?))
+    }
+
+    /// Consumes the read half: events from the host are delivered to
+    /// `on_event` on a reader thread (e.g. forwarded into the local
+    /// pipeline with `RunningPipeline::send_event`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn spawn_event_reader(
+        &mut self,
+        on_event: impl Fn(ControlEvent) + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        let mut reader = self
+            .reader
+            .take()
+            .expect("spawn_event_reader may only be called once");
+        std::thread::Builder::new()
+            .name("remote-event-reader".into())
+            .spawn(move || loop {
+                match read_frame(&mut reader) {
+                    Ok(Some((FrameKind::Event, payload))) => {
+                        if let Ok(ev) = wire::from_bytes::<WireEvent>(&payload) {
+                            on_event(ev.into());
+                        }
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => return,
+                }
+            })
+            .expect("spawn event reader")
+    }
+}
+
+impl fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteClient").finish()
+    }
+}
+
+fn read_ctrl_client(reader: &mut BufReader<TcpStream>) -> Result<CtrlMsg, RemoteError> {
+    loop {
+        match read_frame(reader)? {
+            Some((FrameKind::Control, payload)) => {
+                return wire::from_bytes(&payload).map_err(|e| RemoteError::Wire(e.to_string()));
+            }
+            // Events may already be flowing; they are not ours to handle
+            // during setup.
+            Some((FrameKind::Event, _)) => {}
+            Some((other, _)) => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected a control frame, got {other:?}"
+                )))
+            }
+            None => return Err(RemoteError::Protocol("connection closed".into())),
+        }
+    }
+}

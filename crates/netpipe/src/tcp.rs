@@ -1,0 +1,238 @@
+//! A TCP netpipe over real sockets.
+//!
+//! The send end hands frames to a writer OS thread (so the uniprocessor
+//! kernel never blocks on socket I/O); the receive side is a reader OS
+//! thread that maps incoming frames to kernel messages through an
+//! [`InboxSender`] — "network packets and signals from the operating
+//! system are mapped to messages by the platform" (§4).
+
+use crate::framing::{read_frame, write_frame, FrameKind};
+use crate::marshal::WireBytes;
+use crate::proto::WireEvent;
+use crate::wire;
+use infopipes::{ControlEvent, EventCtx, InboxSender, Item, ItemType, Stage, StageCtx};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use typespec::Typespec;
+
+enum WriterMsg {
+    Data(Vec<u8>),
+    Event(Vec<u8>),
+    Fin,
+}
+
+/// The producer-side end of a TCP netpipe: a passive consumer accepting
+/// `WireBytes` and transmitting them as framed messages. Control events
+/// broadcast in the local pipeline are forwarded as event frames; the end
+/// of stream becomes a FIN frame.
+pub struct TcpSendEnd {
+    name: String,
+    tx: mpsc::Sender<WriterMsg>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpSendEnd {
+    /// Wraps a connected stream; spawns the writer thread.
+    #[must_use]
+    pub fn new(name: impl Into<String>, stream: TcpStream) -> TcpSendEnd {
+        let (tx, rx) = mpsc::channel::<WriterMsg>();
+        let mut stream = stream;
+        let writer = std::thread::Builder::new()
+            .name("tcp-netpipe-writer".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    let result = match msg {
+                        WriterMsg::Data(bytes) => write_frame(&mut stream, FrameKind::Data, &bytes),
+                        WriterMsg::Event(bytes) => {
+                            write_frame(&mut stream, FrameKind::Event, &bytes)
+                        }
+                        WriterMsg::Fin => {
+                            let _ = write_frame(&mut stream, FrameKind::Fin, &[]);
+                            break;
+                        }
+                    };
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            })
+            .expect("spawn tcp writer");
+        TcpSendEnd {
+            name: name.into(),
+            tx,
+            writer: Some(writer),
+        }
+    }
+}
+
+impl Drop for TcpSendEnd {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WriterMsg::Fin);
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Stage for TcpSendEnd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+
+    fn on_event(&mut self, _ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {
+        match event {
+            ControlEvent::Eos => {
+                let _ = self.tx.send(WriterMsg::Fin);
+            }
+            // Start/Stop are pipeline-local; everything else is forwarded
+            // to the remote side (feedback commands, resizes, ...).
+            ControlEvent::Start | ControlEvent::Stop => {}
+            other => {
+                if let Ok(bytes) = wire::to_bytes(&WireEvent::from(other)) {
+                    let _ = self.tx.send(WriterMsg::Event(bytes));
+                }
+            }
+        }
+    }
+}
+
+impl infopipes::Consumer for TcpSendEnd {
+    fn push(&mut self, _ctx: &mut StageCtx<'_, '_>, item: Item) {
+        if let Ok((bytes, _)) = item.into_payload::<WireBytes>() {
+            let _ = self.tx.send(WriterMsg::Data(bytes.0));
+        }
+    }
+}
+
+/// Spawns the receive side of a TCP netpipe: a reader thread that feeds
+/// data frames into `inbox`, invokes `on_event` for event frames, and
+/// finishes the inbox on FIN or connection close. Returns the reader's
+/// join handle.
+pub fn spawn_tcp_receiver(
+    stream: TcpStream,
+    inbox: InboxSender,
+    on_event: impl Fn(ControlEvent) + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("tcp-netpipe-reader".into())
+        .spawn(move || {
+            let mut reader = BufReader::new(stream);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some((FrameKind::Data, payload))) => {
+                        let _ = inbox.put(Item::cloneable(WireBytes(payload)));
+                    }
+                    Ok(Some((FrameKind::Event, payload))) => {
+                        if let Ok(ev) = wire::from_bytes::<WireEvent>(&payload) {
+                            on_event(ev.into());
+                        }
+                    }
+                    Ok(Some((FrameKind::Fin, _))) | Ok(None) => {
+                        inbox.finish();
+                        return;
+                    }
+                    Ok(Some((FrameKind::Control, _))) => {
+                        // Factory protocol frames are handled by the
+                        // remote module's host loop, not raw receivers.
+                    }
+                    Err(_) => {
+                        inbox.finish();
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn tcp reader")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infopipes::helpers::{CollectSink, IterSource};
+    use infopipes::{BufferSpec, FreePump, Pipeline};
+    use mbthread::{Kernel, KernelConfig};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn video_frames_cross_a_real_socket() {
+        // Real clocks on both kernels: TCP I/O is wall-clock.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Consumer side.
+        let consumer_kernel = Kernel::new(KernelConfig::default());
+        let consumer = Pipeline::new(&consumer_kernel, "consumer");
+        let (inbox, inbox_sender) = consumer.add_inbox("net-in", BufferSpec::bounded(256));
+        let pump = consumer.add_pump("pump", FreePump::new());
+        let un = consumer.add_function("unmarshal", crate::Unmarshal::<u64>::new("unmarshal"));
+        let (sink, out) = CollectSink::<u64>::new("sink");
+        let sink = consumer.add_consumer("sink", sink);
+        let _ = inbox >> pump >> un >> sink;
+        let running = consumer.start().unwrap();
+        running.start_flow().unwrap();
+
+        let accept_thread = std::thread::spawn(move || listener.accept().unwrap().0);
+
+        // Producer side.
+        let producer_kernel = Kernel::new(KernelConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let server_stream = accept_thread.join().unwrap();
+        let _reader = spawn_tcp_receiver(server_stream, inbox_sender, |_| {});
+
+        let producer = Pipeline::new(&producer_kernel, "producer");
+        let src = producer.add_producer("src", IterSource::new("src", 0u64..50));
+        let pump_out = producer.add_pump("pump-out", FreePump::new());
+        let m = producer.add_function("marshal", crate::Marshal::<u64>::new("marshal"));
+        let send = producer.add_consumer("send", TcpSendEnd::new("send", stream));
+        let _ = src >> pump_out >> m >> send;
+        let running_producer = producer.start().unwrap();
+        running_producer.start_flow().unwrap();
+
+        // Wait for everything to land (real time).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while out.lock().len() < 50 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(*out.lock(), (0..50).collect::<Vec<u64>>());
+
+        producer_kernel.shutdown();
+        consumer_kernel.shutdown();
+    }
+
+    #[test]
+    fn events_are_forwarded_over_the_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_thread = std::thread::spawn(move || listener.accept().unwrap().0);
+        let stream = TcpStream::connect(addr).unwrap();
+        let server_stream = accept_thread.join().unwrap();
+
+        // Feed an inbox nobody reads; we only care about events here.
+        let kernel = Kernel::new(KernelConfig::default());
+        let scratch = Pipeline::new(&kernel, "scratch");
+        let (_inbox, inbox_sender) = scratch.add_inbox("in", BufferSpec::bounded(4));
+        let (ev_tx, ev_rx) = mpsc::channel();
+        let _reader = spawn_tcp_receiver(server_stream, inbox_sender, move |ev| {
+            let _ = ev_tx.send(ev);
+        });
+
+        // Drive the send end directly (no pipeline needed for this test).
+        let send = TcpSendEnd::new("send", stream);
+        // Emulate an event dispatch: call the writer through the channel
+        // path used by on_event.
+        if let Ok(bytes) = wire::to_bytes(&WireEvent::SetDropLevel(2)) {
+            send.tx.send(WriterMsg::Event(bytes)).unwrap();
+        }
+        let got = ev_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, ControlEvent::SetDropLevel(2));
+        drop(send);
+        kernel.shutdown();
+    }
+}

@@ -1,0 +1,119 @@
+//! Connection- and chain-level type checking.
+
+use crate::error::TypeError;
+use crate::polarity::Polarity;
+use crate::transform::SpecTransform;
+use crate::typespec::Typespec;
+
+/// Checks one connection: an upstream out-port offering `offered` with
+/// polarity `out_pol`, joined to a downstream in-port accepting `accepted`
+/// with polarity `in_pol`.
+///
+/// Returns the agreed flow spec and the resolved (possibly induced)
+/// polarities of the two ports.
+///
+/// # Errors
+///
+/// A [`TypeError`] when polarities clash or the specs have no common flow.
+pub fn check_connection(
+    offered: &Typespec,
+    out_pol: Polarity,
+    accepted: &Typespec,
+    in_pol: Polarity,
+) -> Result<(Typespec, Polarity, Polarity), TypeError> {
+    let (out_res, in_res) = out_pol.unify(in_pol)?;
+    let agreed = offered.intersect(accepted)?;
+    Ok((agreed, out_res, in_res))
+}
+
+/// Threads a source spec through a chain of component transformations,
+/// checking each stage's acceptance spec along the way.
+///
+/// `stages` pairs each component's required input spec with its
+/// transformation. Returns the spec offered at the end of the chain.
+///
+/// # Errors
+///
+/// The first [`TypeError`] raised by an unsatisfiable stage.
+pub fn check_chain(
+    source: &Typespec,
+    stages: &[(&Typespec, &dyn SpecTransform)],
+) -> Result<Typespec, TypeError> {
+    let mut flowing = source.clone();
+    for (accepts, transform) in stages {
+        let agreed = flowing.intersect(accepts)?;
+        flowing = transform.transform(&agreed)?;
+    }
+    Ok(flowing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item_type::ItemType;
+    use crate::qos::{QosKey, QosRange};
+    use crate::transform::IdentityTransform;
+
+    #[test]
+    fn connection_resolves_polarity_and_spec() {
+        let offered = Typespec::of::<u32>().with_qos(QosKey::FrameRateHz, QosRange::new(1.0, 60.0));
+        let accepted = Typespec::new().with_qos(QosKey::FrameRateHz, QosRange::at_most(30.0));
+        let (agreed, out_p, in_p) = check_connection(
+            &offered,
+            Polarity::Positive,
+            &accepted,
+            Polarity::Polymorphic,
+        )
+        .unwrap();
+        assert_eq!(out_p, Polarity::Positive);
+        assert_eq!(in_p, Polarity::Negative);
+        assert_eq!(
+            agreed.qos(&QosKey::FrameRateHz),
+            Some(QosRange::new(1.0, 30.0))
+        );
+    }
+
+    #[test]
+    fn connection_rejects_polarity_clash_before_specs() {
+        let spec = Typespec::new();
+        let err =
+            check_connection(&spec, Polarity::Negative, &spec, Polarity::Negative).unwrap_err();
+        assert!(matches!(err, TypeError::PolarityClash(_, _)));
+    }
+
+    #[test]
+    fn chain_threads_transformations() {
+        let source = Typespec::with_item_type(ItemType::named("compressed"))
+            .with_qos(QosKey::FrameRateHz, QosRange::new(0.0, 60.0));
+
+        let decoder_accepts = Typespec::with_item_type(ItemType::named("compressed"));
+        let decode = |input: &Typespec| -> Result<Typespec, TypeError> {
+            Ok(input.clone().map_item(ItemType::named("raw")))
+        };
+
+        let sink_accepts = Typespec::with_item_type(ItemType::named("raw"))
+            .with_qos(QosKey::FrameRateHz, QosRange::at_most(30.0));
+
+        let out = check_chain(
+            &source,
+            &[
+                (&decoder_accepts, &decode),
+                (&sink_accepts, &IdentityTransform),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.item(), &ItemType::named("raw"));
+        assert_eq!(
+            out.qos(&QosKey::FrameRateHz),
+            Some(QosRange::new(0.0, 30.0))
+        );
+    }
+
+    #[test]
+    fn chain_fails_when_stage_cannot_accept() {
+        let source = Typespec::with_item_type(ItemType::named("raw"));
+        let decoder_accepts = Typespec::with_item_type(ItemType::named("compressed"));
+        let err = check_chain(&source, &[(&decoder_accepts, &IdentityTransform)]).unwrap_err();
+        assert!(matches!(err, TypeError::ItemMismatch { .. }));
+    }
+}

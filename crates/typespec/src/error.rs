@@ -1,0 +1,89 @@
+//! Type-checking errors reported when composing pipeline stages.
+
+use crate::item_type::ItemType;
+use crate::polarity::Polarity;
+use crate::qos::{QosKey, QosRange};
+use std::error::Error;
+use std::fmt;
+
+/// An incompatibility detected while composing Infopipe components.
+///
+/// The composition operator surfaces these when two connected ports cannot
+/// support a common flow, mirroring the paper's `>>` operator that throws
+/// on incompatible components (§4).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeError {
+    /// Two ports with the same fixed polarity were connected (e.g. two
+    /// pushing out-ports).
+    PolarityClash(Polarity, Polarity),
+    /// The upstream item type does not match what the downstream port
+    /// accepts.
+    ItemMismatch {
+        /// What the downstream port accepts.
+        expected: ItemType,
+        /// What the upstream port produces.
+        found: ItemType,
+    },
+    /// A QoS dimension constrained by both sides has no overlapping range.
+    QosDisjoint {
+        /// The dimension in conflict.
+        key: QosKey,
+        /// The upstream range.
+        left: QosRange,
+        /// The downstream range.
+        right: QosRange,
+    },
+    /// The downstream component requires a control event capability the
+    /// upstream flow does not provide.
+    MissingEvent(String),
+    /// A component-specific transformation rejected the flow.
+    Rejected(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::PolarityClash(a, b) => {
+                write!(f, "ports with equal polarity cannot connect ({a} to {b})")
+            }
+            TypeError::ItemMismatch { expected, found } => {
+                write!(f, "item type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::QosDisjoint { key, left, right } => {
+                write!(f, "no overlap for {key}: {left} vs {right}")
+            }
+            TypeError::MissingEvent(name) => {
+                write!(f, "required control event capability missing: {name}")
+            }
+            TypeError::Rejected(reason) => write!(f, "composition rejected: {reason}"),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TypeError::PolarityClash(Polarity::Positive, Polarity::Positive);
+        assert!(e.to_string().contains("polarity"));
+        let e = TypeError::ItemMismatch {
+            expected: ItemType::named("a"),
+            found: ItemType::named("b"),
+        };
+        assert!(e.to_string().contains("expected a"));
+        let e = TypeError::QosDisjoint {
+            key: QosKey::LatencyMs,
+            left: QosRange::new(0.0, 1.0),
+            right: QosRange::new(2.0, 3.0),
+        };
+        assert!(e.to_string().contains("latency-ms"));
+        assert!(TypeError::MissingEvent("resize".into())
+            .to_string()
+            .contains("resize"));
+        assert!(!TypeError::Rejected("nope".into()).to_string().is_empty());
+    }
+}

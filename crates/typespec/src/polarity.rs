@@ -1,0 +1,171 @@
+//! Port polarity: the push/pull algebra of §2.3.
+//!
+//! Activity is represented by assigning each port a positive or negative
+//! polarity: a positive out-port makes calls to `push`, a negative out-port
+//! can receive a `pull`; a positive in-port makes calls to `pull`, a
+//! negative in-port is willing to receive a `push`. Ports with opposite
+//! polarity may be connected; connecting two ports of the same fixed
+//! polarity is an error. Components without a fixed polarity (filters,
+//! filter chains) are *polymorphic* (`α → α`): connecting one end to a
+//! fixed port *induces* the complementary polarity at the other end.
+
+use crate::error::TypeError;
+use std::fmt;
+
+/// The polarity of a port.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// The active side: this port makes calls (push for an out-port, pull
+    /// for an in-port).
+    Positive,
+    /// The passive side: this port receives calls.
+    Negative,
+    /// Undetermined (`α`): acquires an induced polarity when connected to
+    /// a fixed port.
+    #[default]
+    Polymorphic,
+}
+
+impl Polarity {
+    /// The polarity that can legally face this one across a connection.
+    /// Polymorphic is its own complement (two polymorphic ports compose,
+    /// deferring resolution).
+    #[must_use]
+    pub fn complement(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            Polarity::Polymorphic => Polarity::Polymorphic,
+        }
+    }
+
+    /// Whether a port of this polarity may be connected to one of `other`.
+    #[must_use]
+    pub fn connects_to(self, other: Polarity) -> bool {
+        !matches!(
+            (self, other),
+            (Polarity::Positive, Polarity::Positive) | (Polarity::Negative, Polarity::Negative)
+        )
+    }
+
+    /// Resolves the pair of polarities after connecting two ports,
+    /// inducing fixed polarities into polymorphic ports.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeError::PolarityClash`] when both ports have the same fixed
+    /// polarity.
+    pub fn unify(self, other: Polarity) -> Result<(Polarity, Polarity), TypeError> {
+        match (self, other) {
+            (Polarity::Positive, Polarity::Positive) | (Polarity::Negative, Polarity::Negative) => {
+                Err(TypeError::PolarityClash(self, other))
+            }
+            (Polarity::Polymorphic, Polarity::Polymorphic) => {
+                Ok((Polarity::Polymorphic, Polarity::Polymorphic))
+            }
+            (Polarity::Polymorphic, fixed) => Ok((fixed.complement(), fixed)),
+            (fixed, Polarity::Polymorphic) => Ok((fixed, fixed.complement())),
+            (a, b) => Ok((a, b)),
+        }
+    }
+
+    /// Whether this polarity is fixed (not polymorphic).
+    #[must_use]
+    pub fn is_fixed(self) -> bool {
+        self != Polarity::Polymorphic
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Polarity::Positive => "+",
+            Polarity::Negative => "-",
+            Polarity::Polymorphic => "α",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Propagates an induced polarity through a chain of polymorphic
+/// components, as when one end of a filter chain is connected to a fixed
+/// port (§2.3, "induced polarity").
+///
+/// Given the polarity now imposed at the upstream end of the chain and the
+/// number of chained polymorphic components, returns the polarity each
+/// component's downstream port acquires. In this in-out model every
+/// component simply passes the driving direction along, so all downstream
+/// ports share the imposed activity direction.
+#[must_use]
+pub fn induce_chain(imposed: Polarity, chain_len: usize) -> Vec<Polarity> {
+    // A filter whose in-port received polarity `p` exposes the same
+    // activity direction downstream: if items are pushed into it, it pushes
+    // onward; if items are pulled from it, it pulls onward.
+    (0..chain_len).map(|_| imposed).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_is_involutive_for_fixed() {
+        assert_eq!(Polarity::Positive.complement(), Polarity::Negative);
+        assert_eq!(Polarity::Negative.complement(), Polarity::Positive);
+        assert_eq!(
+            Polarity::Polymorphic.complement(),
+            Polarity::Polymorphic
+        );
+        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+            assert_eq!(p.complement().complement(), p);
+        }
+    }
+
+    #[test]
+    fn opposite_fixed_polarities_connect() {
+        assert!(Polarity::Positive.connects_to(Polarity::Negative));
+        assert!(Polarity::Negative.connects_to(Polarity::Positive));
+    }
+
+    #[test]
+    fn equal_fixed_polarities_clash() {
+        assert!(!Polarity::Positive.connects_to(Polarity::Positive));
+        assert!(!Polarity::Negative.connects_to(Polarity::Negative));
+        assert!(Polarity::Positive.unify(Polarity::Positive).is_err());
+        assert!(Polarity::Negative.unify(Polarity::Negative).is_err());
+    }
+
+    #[test]
+    fn polymorphic_connects_to_everything() {
+        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+            assert!(Polarity::Polymorphic.connects_to(p));
+            assert!(p.connects_to(Polarity::Polymorphic));
+        }
+    }
+
+    #[test]
+    fn unify_induces_complement() {
+        let (a, b) = Polarity::Polymorphic.unify(Polarity::Positive).unwrap();
+        assert_eq!((a, b), (Polarity::Negative, Polarity::Positive));
+        let (a, b) = Polarity::Negative.unify(Polarity::Polymorphic).unwrap();
+        assert_eq!((a, b), (Polarity::Negative, Polarity::Positive));
+        let (a, b) = Polarity::Polymorphic.unify(Polarity::Polymorphic).unwrap();
+        assert_eq!((a, b), (Polarity::Polymorphic, Polarity::Polymorphic));
+    }
+
+    #[test]
+    fn induced_chain_propagates_direction() {
+        assert_eq!(
+            induce_chain(Polarity::Negative, 3),
+            vec![Polarity::Negative; 3]
+        );
+        assert!(induce_chain(Polarity::Positive, 0).is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

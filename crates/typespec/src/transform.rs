@@ -1,0 +1,78 @@
+//! Typespec transformations: how components derive the spec at their
+//! output from the spec at their input.
+//!
+//! "We do not associate a fixed Typespec with each component, but let each
+//! pipeline component transform a Typespec on each port to Typespecs on its
+//! other ports" (§2.3). A decoder, for instance, maps a compressed-frame
+//! spec to a raw-frame spec; a netpipe rewrites the location property; a
+//! rate limiter narrows the frame-rate range.
+
+use crate::error::TypeError;
+use crate::typespec::Typespec;
+
+/// A component's Typespec transformation from its in-port to its out-port.
+///
+/// Implementations analyse the information about the flow at one port and
+/// derive information about the flow at the other, or reject flows they
+/// cannot process. Closures `Fn(&Typespec) -> Result<Typespec, TypeError>`
+/// implement this trait.
+pub trait SpecTransform: Send {
+    /// Derives the output spec from the input spec.
+    ///
+    /// # Errors
+    ///
+    /// A [`TypeError`] when the component cannot process this flow.
+    fn transform(&self, input: &Typespec) -> Result<Typespec, TypeError>;
+}
+
+impl<F> SpecTransform for F
+where
+    F: Fn(&Typespec) -> Result<Typespec, TypeError> + Send,
+{
+    fn transform(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        self(input)
+    }
+}
+
+/// The transformation of a component that passes flows through unchanged
+/// (plain pipes, counters, sensors).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdentityTransform;
+
+impl SpecTransform for IdentityTransform {
+    fn transform(&self, input: &Typespec) -> Result<Typespec, TypeError> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item_type::ItemType;
+    use crate::qos::{QosKey, QosRange};
+
+    #[test]
+    fn identity_preserves_the_spec() {
+        let spec = Typespec::of::<u64>().with_qos(QosKey::LatencyMs, QosRange::at_most(5.0));
+        assert_eq!(IdentityTransform.transform(&spec).unwrap(), spec);
+    }
+
+    #[test]
+    fn closures_are_transforms() {
+        // A "decoder": compressed bytes in, raw frames out, rate preserved.
+        let decode = |input: &Typespec| -> Result<Typespec, TypeError> {
+            if !input.item().compatible_with(&ItemType::named("compressed")) {
+                return Err(TypeError::Rejected("decoder needs compressed input".into()));
+            }
+            Ok(input.clone().map_item(ItemType::named("raw")))
+        };
+        let spec = Typespec::with_item_type(ItemType::named("compressed"))
+            .with_qos(QosKey::FrameRateHz, QosRange::exactly(30.0));
+        let out = decode.transform(&spec).unwrap();
+        assert_eq!(out.item(), &ItemType::named("raw"));
+        assert_eq!(out.qos(&QosKey::FrameRateHz), Some(QosRange::exactly(30.0)));
+
+        let bad = Typespec::with_item_type(ItemType::named("raw"));
+        assert!(decode.transform(&bad).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Thread transparency in action (§3.3, Figs. 4–8): the same
+//! defragmenter, written in three different activity styles, produces
+//! identical output in both push and pull positions — the middleware
+//! allocates coroutines only where the style does not match the mode.
+
+use infopipes::helpers::{ActiveDefrag, CollectSink, IterSource, PullDefrag, PushDefrag};
+use infopipes::{FreePump, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+
+#[derive(Copy, Clone)]
+enum Style {
+    Push,
+    Pull,
+    Active,
+}
+
+fn run(style: Style, push_mode: bool) -> (Vec<Vec<u8>>, usize, String) {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let result = {
+        let pipeline = Pipeline::new(&kernel, "styles");
+        let fragments: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 4]).collect();
+        let source = pipeline.add_producer("source", IterSource::new("source", fragments));
+        let (sink, out) = CollectSink::<Vec<u8>>::new("sink");
+        let sink = pipeline.add_consumer("sink", sink);
+        let defrag = match style {
+            Style::Push => pipeline.add_consumer("defrag", PushDefrag::new()),
+            Style::Pull => pipeline.add_producer("defrag", PullDefrag::new()),
+            Style::Active => pipeline.add_active("defrag", ActiveDefrag::new()),
+        };
+        let pump = pipeline.add_pump("pump", FreePump::new());
+        if push_mode {
+            let _ = source >> pump >> defrag >> sink;
+        } else {
+            let _ = source >> defrag >> pump >> sink;
+        }
+        let running = pipeline.start().expect("composition is valid");
+        let threads = running.report().total_threads();
+        let placement = running.report().sections[0]
+            .stages
+            .iter()
+            .find(|p| p.name == "defrag")
+            .map(|p| format!("{} {}", p.mode, p.exec))
+            .unwrap_or_default();
+        running.start_flow().expect("start");
+        running.wait_quiescent();
+        let collected = out.lock().clone();
+        (collected, threads, placement)
+    };
+    kernel.shutdown();
+    result
+}
+
+fn main() {
+    println!("the paper's defragmenter in every activity style and position\n");
+    println!(
+        "{:<18} {:<12} {:<18} {:>8} {:>8}",
+        "implementation", "position", "placement", "threads", "output"
+    );
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for (label, style) in [
+        ("consumer (push)", Style::Push),
+        ("producer (pull)", Style::Pull),
+        ("active object", Style::Active),
+    ] {
+        for (pos, push_mode) in [("push mode", true), ("pull mode", false)] {
+            let (out, threads, placement) = run(style, push_mode);
+            println!(
+                "{label:<18} {pos:<12} {placement:<18} {threads:>8} {:>8}",
+                out.len()
+            );
+            match &reference {
+                None => reference = Some(out),
+                Some(want) => assert_eq!(&out, want, "all styles must agree"),
+            }
+        }
+    }
+    println!(
+        "\nevery implementation produced byte-identical output; the middleware\n\
+         added a coroutine only where the style did not match the position\n\
+         (Figs. 4, 6, 8: the external activity is the same in all cases)."
+    );
+}

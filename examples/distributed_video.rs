@@ -1,0 +1,136 @@
+//! The full distributed pipeline of Fig. 1, over a congested simulated
+//! network: feedback-controlled producer-side dropping versus arbitrary
+//! in-network dropping.
+//!
+//! ```text
+//! file ─ pump ─ drop-filter ─ fragment ─ marshal ─▶ netpipe ─▶
+//!   unmarshal ─ feedback-sensor ─ defragment ─ decode ─ buffer ─ pump ─ display
+//! ```
+//!
+//! Run with `cargo run --example distributed_video`.
+
+use feedback::{DropLevelController, FeedbackLoop};
+use infopipes::{BufferSpec, ClockedPump, FreePump, OnFull, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+use media::{
+    DecodeCost, Decoder, Defragmenter, DisplaySink, Fragmenter, GopStructure, MpegFileSource,
+    Packet, PriorityDropFilter,
+};
+use netpipe::{Marshal, SimConfig, SimLink, Unmarshal};
+use std::time::Duration;
+
+const FPS: f64 = 30.0;
+const FRAMES: u64 = 240;
+const GOP: GopStructure = GopStructure {
+    gop_size: 9,
+    b_run: 2,
+};
+
+struct Outcome {
+    presented: usize,
+    decode_ratio: f64,
+    net_dropped: u64,
+    filter_dropped: u64,
+}
+
+fn run(with_feedback: bool) -> Outcome {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let outcome = {
+        let pipeline = Pipeline::new(&kernel, "fig1");
+
+        // Consumer node.
+        let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(512));
+        let net_pump = pipeline.add_pump("net-pump", FreePump::new());
+        let unmarshal =
+            pipeline.add_function("unmarshal", Unmarshal::<Packet>::new("unmarshal"));
+        let defrag = pipeline.add_consumer("defragment", Defragmenter::new());
+        let decoder = Decoder::new(GOP, DecodeCost::free());
+        let dec_stats = decoder.stats_handle();
+        let decode = pipeline.add_consumer("decode", decoder);
+        let jitter_buf = pipeline.add_buffer_with(
+            "jitter-buf",
+            BufferSpec::bounded(32).on_full(OnFull::DropOldest),
+        );
+        let out_pump = pipeline.add_pump("out-pump", ClockedPump::hz(FPS));
+        let (display, display_stats) = DisplaySink::new();
+        let sink = pipeline.add_consumer("display", display);
+        if with_feedback {
+            let controller = DropLevelController::new("recv-rate-hz", 60.0)
+                .with_fractions([1.0, 0.67, 0.44]);
+            let (fb, _) = FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
+            let fb = pipeline.add_consumer("feedback", fb);
+            let _ = inbox >> net_pump >> unmarshal >> fb >> defrag >> decode;
+        } else {
+            let _ = inbox >> net_pump >> unmarshal >> defrag >> decode;
+        }
+        let _ = decode >> jitter_buf >> out_pump >> sink;
+
+        // The congested link: ~40% of the offered bandwidth.
+        let link = SimLink::new(
+            &kernel,
+            SimConfig {
+                latency: Duration::from_millis(20),
+                jitter: Duration::from_millis(2),
+                bandwidth_bps: Some(20_000.0),
+                queue_bytes: 4_000,
+                seed: 99,
+            },
+            inbox_sender,
+        )
+        .expect("link");
+
+        // Producer node: "frames are pumped through a filter into a
+        // netpipe" (Fig. 1).
+        let source = pipeline.add_producer(
+            "mpeg-file",
+            MpegFileSource::new(GOP, FRAMES, FPS, 1000, 1234),
+        );
+        let prod_pump = pipeline.add_pump("prod-pump", ClockedPump::hz(FPS));
+        let (drop_filter, drop_stats) = PriorityDropFilter::new();
+        let dropf = pipeline.add_function("drop-filter", drop_filter);
+        let frag = pipeline.add_consumer("fragment", Fragmenter::new(512));
+        let marshal = pipeline.add_function("marshal", Marshal::<Packet>::new("marshal"));
+        let send = pipeline.add_consumer("net-send", link.send_end("net-send"));
+        let _ = source >> prod_pump >> dropf >> frag >> marshal >> send;
+
+        let running = pipeline.start().expect("composition is valid");
+        running.start_flow().expect("start");
+        running.wait_quiescent();
+
+        let outcome = Outcome {
+            presented: display_stats.lock().count(),
+            decode_ratio: dec_stats.lock().decode_ratio(),
+            net_dropped: link.stats().dropped,
+            filter_dropped: drop_stats.lock().dropped,
+        };
+        outcome
+    };
+    kernel.shutdown();
+    outcome
+}
+
+fn main() {
+    println!("Fig. 1 distributed video over a congested simulated link");
+    println!("({FRAMES} frames at {FPS} fps; link carries ~40% of the offered rate)\n");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12} {:>14}",
+        "condition", "presented", "decode ratio", "net drops", "filter drops"
+    );
+    for (label, with_feedback) in [("arbitrary (network)", false), ("controlled (feedback)", true)]
+    {
+        let o = run(with_feedback);
+        println!(
+            "{:<22} {:>10} {:>13.0}% {:>12} {:>14}",
+            label,
+            o.presented,
+            o.decode_ratio * 100.0,
+            o.net_dropped,
+            o.filter_dropped
+        );
+    }
+    println!(
+        "\ncontrolled dropping sheds B/P frames before the bottleneck, so what\n\
+         arrives is decodable; arbitrary dropping shreds reference frames and\n\
+         poisons entire groups of pictures."
+    );
+}

@@ -1,0 +1,83 @@
+//! A local video player with the consumer-side machinery of Fig. 1: a
+//! decoder with realistic (bursty) decode costs, a jitter buffer, and a
+//! clocked output pump — plus the paper's resizer reacting to
+//! window-resize control events.
+//!
+//! Prints presentation jitter with and without the jitter buffer.
+//!
+//! Run with `cargo run --example video_player`.
+
+use infopipes::{BufferSpec, ClockedPump, ControlEvent, FreePump, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+use media::{DecodeCost, Decoder, DisplaySink, GopStructure, MpegFileSource, Resizer};
+use std::time::Duration;
+
+const FRAMES: u64 = 120;
+const FPS: f64 = 30.0;
+
+fn play(with_jitter_buffer: bool) -> (usize, f64) {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let result = {
+        let pipeline = Pipeline::new(&kernel, "player");
+        let source = pipeline.add_producer(
+            "mpeg-file",
+            MpegFileSource::new(GopStructure::ibbp(), FRAMES, FPS, 4000, 7),
+        );
+        // Decode cost scales with frame size: I frames take ~8x longer
+        // than B frames, which is exactly the burstiness a jitter buffer
+        // exists to absorb.
+        let decode = pipeline.add_consumer(
+            "decode",
+            Decoder::new(
+                GopStructure::ibbp(),
+                DecodeCost {
+                    base: Duration::from_millis(2),
+                    per_kilobyte: Duration::from_millis(4),
+                },
+            ),
+        );
+        let (resizer, _resizes) = Resizer::new(640, 480);
+        let resize = pipeline.add_function("resize", resizer);
+        let (display, stats) = DisplaySink::new();
+        let sink = pipeline.add_consumer("display", display);
+
+        if with_jitter_buffer {
+            let pump_in = pipeline.add_pump("decode-pump", FreePump::new());
+            let buf = pipeline.add_buffer_with("jitter-buf", BufferSpec::bounded(16));
+            let pump_out = pipeline.add_pump("display-pump", ClockedPump::hz(FPS));
+            let _ = source >> decode >> pump_in >> buf >> pump_out >> resize >> sink;
+        } else {
+            let pump = pipeline.add_pump("pump", FreePump::new());
+            let _ = source >> decode >> pump >> resize >> sink;
+        }
+
+        let running = pipeline.start().expect("composition is valid");
+        running.start_flow().expect("start");
+        // A mid-playback window resize reaches the resizer via the event
+        // service even while threads are busy with data.
+        running
+            .send_event(ControlEvent::WindowResize {
+                width: 1280,
+                height: 720,
+            })
+            .ok();
+        running.wait_quiescent();
+        let s = stats.lock();
+        (s.count(), s.timing.jitter_us().unwrap_or(0.0))
+    };
+    kernel.shutdown();
+    result
+}
+
+fn main() {
+    let (n_raw, jitter_raw) = play(false);
+    let (n_buf, jitter_buf) = play(true);
+    println!("local video player, {FRAMES} frames at {FPS} fps, bursty decode costs");
+    println!("  without jitter buffer: {n_raw} frames, presentation jitter {jitter_raw:>8.1} us");
+    println!("  with jitter buffer   : {n_buf} frames, presentation jitter {jitter_buf:>8.1} us");
+    assert!(jitter_buf < jitter_raw);
+    println!(
+        "the buffer + clocked pump removed {:.0}% of the jitter",
+        (1.0 - jitter_buf / jitter_raw.max(1e-9)) * 100.0
+    );
+}

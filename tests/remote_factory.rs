@@ -1,0 +1,162 @@
+//! Remote component creation over TCP (§2.4): a host node instantiates a
+//! consumer pipeline from its factory registry at a client's request; the
+//! client streams video into it and both sides exchange control events.
+
+use infopipes::{ClockedPump, ControlEvent, Pipeline, Style};
+use mbthread::{Kernel, KernelConfig};
+use media::{DecodeCost, Decoder, GopStructure, MpegFileSource, RawFrame};
+use netpipe::{ComponentRegistry, Marshal, RemoteClient, RemoteError, RemoteHost, Unmarshal};
+use parking_lot::Mutex;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+const GOP: GopStructure = GopStructure {
+    gop_size: 9,
+    b_run: 2,
+};
+
+/// Builds the host's registry: unmarshal, decoder, and a display whose
+/// stats are observable from the test.
+fn registry(display_stats: Arc<Mutex<media::DisplayStats>>) -> ComponentRegistry {
+    let mut reg = ComponentRegistry::new();
+    reg.register("unmarshal-frame", || {
+        Style::Function(Box::new(
+            Unmarshal::<media::CompressedFrame>::new("unmarshal-frame").at_node("host"),
+        ))
+    });
+    reg.register("decoder", || {
+        Style::Consumer(Box::new(Decoder::new(GOP, DecodeCost::free())))
+    });
+    reg.register("display", move || {
+        let stats = Arc::clone(&display_stats);
+        Style::Consumer(Box::new(SharedDisplay { stats }))
+    });
+    reg
+}
+
+/// A display whose stats handle is shared with the test (factories must
+/// be repeatable, so the regular `DisplaySink::new` pair does not fit).
+struct SharedDisplay {
+    stats: Arc<Mutex<media::DisplayStats>>,
+}
+
+impl infopipes::Stage for SharedDisplay {
+    fn name(&self) -> &str {
+        "display"
+    }
+
+    fn accepts(&self) -> typespec::Typespec {
+        typespec::Typespec::with_item_type(infopipes::ItemType::of::<RawFrame>())
+    }
+}
+
+impl infopipes::Consumer for SharedDisplay {
+    fn push(&mut self, ctx: &mut infopipes::StageCtx<'_, '_>, item: infopipes::Item) {
+        let frame = item.expect::<RawFrame>();
+        let mut stats = self.stats.lock();
+        stats.timing.record(ctx.now().as_micros());
+        stats.presented.push(frame.seq);
+    }
+}
+
+#[test]
+fn client_creates_and_feeds_a_remote_pipeline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let display_stats = Arc::new(Mutex::new(media::DisplayStats::default()));
+    let host_stats = Arc::clone(&display_stats);
+
+    // ---- host node ----
+    let host_thread = std::thread::spawn(move || {
+        let kernel = Kernel::new(KernelConfig::default());
+        let host = RemoteHost::new("host-node", registry(host_stats));
+        let (stream, _) = listener.accept().unwrap();
+        let result = host.serve_connection(stream, &kernel);
+        // Give in-flight frames a moment to drain through the pipeline.
+        std::thread::sleep(Duration::from_millis(200));
+        kernel.shutdown();
+        result
+    });
+
+    // ---- client node ----
+    let mut client = RemoteClient::connect(addr).unwrap();
+    client
+        .create_pipeline(&["unmarshal-frame", "decoder", "display"])
+        .unwrap();
+
+    // The remote Typespec query resolves against the host-side chain.
+    let spec = client.query_spec().unwrap();
+    assert!(spec.item.contains("RawFrame"), "{spec:?}");
+    assert_eq!(spec.location.as_deref(), Some("host"));
+
+    let send_end = client.send_end("net-send").unwrap();
+    let events_seen = Arc::new(Mutex::new(Vec::new()));
+    let events_seen2 = Arc::clone(&events_seen);
+    let _reader = client.spawn_event_reader(move |ev| {
+        events_seen2.lock().push(ev);
+    });
+
+    // Local producer pipeline feeding the socket.
+    let kernel = Kernel::new(KernelConfig::default());
+    let producer = Pipeline::new(&kernel, "producer");
+    let src = producer.add_producer("file", MpegFileSource::new(GOP, 45, 200.0, 400, 77));
+    let pump = producer.add_pump("pump", ClockedPump::hz(200.0));
+    let marshal = producer.add_function(
+        "marshal",
+        Marshal::<media::CompressedFrame>::new("marshal").at_node("client"),
+    );
+    let send = producer.add_consumer("send", send_end);
+    let _ = src >> pump >> marshal >> send;
+    let running = producer.start().unwrap();
+    running.start_flow().unwrap();
+
+    // Wait for playback to complete on the host.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while display_stats.lock().count() < 45 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(display_stats.lock().count(), 45);
+    assert_eq!(
+        display_stats.lock().presented,
+        (0..45).collect::<Vec<u64>>()
+    );
+
+    // The host broadcast EOS when the stream ended; it must have been
+    // forwarded back to the client.
+    let ev_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < ev_deadline {
+        if events_seen.lock().iter().any(|e| *e == ControlEvent::Eos) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        events_seen.lock().iter().any(|e| *e == ControlEvent::Eos),
+        "host-side EOS must reach the client: {:?}",
+        events_seen.lock()
+    );
+
+    kernel.shutdown();
+    host_thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn unknown_component_is_refused() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let host_thread = std::thread::spawn(move || {
+        let kernel = Kernel::new(KernelConfig::default());
+        let host = RemoteHost::new("host-node", ComponentRegistry::new());
+        let (stream, _) = listener.accept().unwrap();
+        let result = host.serve_connection(stream, &kernel);
+        kernel.shutdown();
+        result
+    });
+
+    let mut client = RemoteClient::connect(addr).unwrap();
+    let err = client.create_pipeline(&["nope"]).unwrap_err();
+    assert!(matches!(err, RemoteError::Refused(_)), "{err:?}");
+    assert!(host_thread.join().unwrap().is_err());
+}
