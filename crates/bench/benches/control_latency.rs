@@ -80,12 +80,14 @@ struct Setup {
 }
 
 fn build(priority_scheduling: bool, busy_sections: usize) -> Setup {
-    let mut cfg = KernelConfig::default();
-    cfg.priority_scheduling = priority_scheduling;
     // Broadcast control events land in *every* thread's queue; with
     // queue-based inheritance enabled they would boost the busy sections
     // too, masking the scheduling effect this experiment isolates.
-    cfg.priority_inheritance = false;
+    let cfg = KernelConfig {
+        priority_scheduling,
+        priority_inheritance: false,
+        ..KernelConfig::default()
+    };
     let kernel = Kernel::new(cfg);
 
     let pipeline = Pipeline::new(&kernel, "latency");

@@ -12,7 +12,9 @@ use media::{
     DecodeCost, Decoder, Defragmenter, DisplaySink, Fragmenter, GopStructure, MpegFileSource,
     Packet, PriorityDropFilter,
 };
-use netpipe::{Marshal, SimConfig, SimLink, Unmarshal};
+use netpipe::{
+    Acceptor, Link, Marshal, PipelineTransportExt, SimConfig, SimTransport, Transport, Unmarshal,
+};
 use std::time::Duration;
 
 const FPS: f64 = 30.0;
@@ -49,8 +51,8 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
         let (display, display_stats) = DisplaySink::new();
         let sink = pipeline.add_consumer("display", display);
         if with_feedback {
-            let mut controller = DropLevelController::new("recv-rate-hz", 60.0)
-                .with_fractions([1.0, 0.67, 0.44]);
+            let mut controller =
+                DropLevelController::new("recv-rate-hz", 60.0).with_fractions([1.0, 0.67, 0.44]);
             controller.raise_below = 0.9;
             let (fb, _) =
                 FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
@@ -61,7 +63,7 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
         }
         let _ = decode >> jitter_buf >> out_pump >> sink;
 
-        let link = SimLink::new(
+        let transport = SimTransport::new(
             &kernel,
             SimConfig {
                 latency: Duration::from_millis(20),
@@ -72,9 +74,13 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
                 queue_bytes: 12_000,
                 seed: 99,
             },
-            inbox_sender,
-        )
-        .expect("link");
+        );
+        let acceptor = transport.listen("fig1").expect("listen");
+        let link = transport.connect("fig1").expect("connect");
+        let consumer_end = acceptor.accept().expect("accept");
+        consumer_end
+            .bind_receiver(Some(inbox_sender), |_| {})
+            .expect("bind receiver");
 
         let source = pipeline.add_producer(
             "mpeg-file",
@@ -85,7 +91,7 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
         let dropf = pipeline.add_function("drop-filter", drop_filter);
         let frag = pipeline.add_consumer("fragment", Fragmenter::new(512));
         let marshal = pipeline.add_function("marshal", Marshal::<Packet>::new("marshal"));
-        let send = pipeline.add_consumer("net-send", link.send_end("net-send"));
+        let send = pipeline.add_net_sink("net-send", &link);
         let _ = source >> prod_pump >> dropf >> frag >> marshal >> send;
 
         let running = pipeline.start().expect("plan");
@@ -105,9 +111,7 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
 }
 
 fn main() {
-    println!(
-        "E4 / Fig. 1: controlled vs arbitrary dropping, {FRAMES} frames at {FPS} fps"
-    );
+    println!("E4 / Fig. 1: controlled vs arbitrary dropping, {FRAMES} frames at {FPS} fps");
     println!("(the offered stream is roughly 50 KB/s; each row is one link bandwidth)\n");
     println!(
         "{:>10} | {:>9} {:>8} {:>9} {:>9} | {:>9} {:>8} {:>9} {:>9}",

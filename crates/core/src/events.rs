@@ -155,7 +155,10 @@ mod tests {
             "window-resize"
         );
         assert_eq!(ControlEvent::FrameRelease(1).kind_name(), "frame-release");
-        assert_eq!(ControlEvent::custom("fill-level", 0.5).kind_name(), "fill-level");
+        assert_eq!(
+            ControlEvent::custom("fill-level", 0.5).kind_name(),
+            "fill-level"
+        );
     }
 
     #[test]

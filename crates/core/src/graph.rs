@@ -56,6 +56,10 @@ pub(crate) struct NodeRec {
     /// `None` once the node implementation moved into the running
     /// pipeline.
     pub(crate) kind: Option<NodeKind>,
+    /// The transport this node bridges to, when it sits on a planned
+    /// section boundary (netpipe send ends and inboxes); surfaced in
+    /// [`StagePlacement`](crate::StagePlacement).
+    pub(crate) transport: Option<String>,
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -223,6 +227,7 @@ impl Pipeline {
         g.nodes.push(NodeRec {
             name: name.to_owned(),
             kind: Some(kind),
+            transport: None,
         });
         Node { pipeline: self, id }
     }
@@ -304,6 +309,17 @@ impl Pipeline {
         (node, sender)
     }
 
+    /// Names the transport a node bridges to (e.g. `tcp://10.0.0.7:4000`
+    /// for a netpipe send end, or the peer of the link feeding an
+    /// inbox). The planner carries the label into the matching
+    /// [`StagePlacement`](crate::StagePlacement), so a plan report shows
+    /// *where* a section boundary leaves the process — the
+    /// transport-placement hook of the pluggable netpipe layer.
+    pub fn set_transport(&self, node: Node<'_>, transport: impl Into<String>) {
+        let mut g = self.g.lock();
+        g.nodes[node.id.0].transport = Some(transport.into());
+    }
+
     /// A read-only probe on a buffer node (fill level, drops), for
     /// feedback sensors.
     ///
@@ -357,10 +373,7 @@ impl Pipeline {
         // Polarity compatibility with the graph as currently known.
         let out_pol = g.polarity(from.id, true);
         let in_pol = g.polarity(to.id, false);
-        out_pol
-            .unify(in_pol)
-            .map_err(PipeError::Type)
-            .map(|_| ())?;
+        out_pol.unify(in_pol).map_err(PipeError::Type).map(|_| ())?;
         g.edges.push(Edge {
             from: from.id,
             to: to.id,

@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn cloneable_items_duplicate_with_meta() {
-        let item = Item::cloneable(String::from("x")).with_seq(3).with_ts(Time::from_millis(2));
+        let item = Item::cloneable(String::from("x"))
+            .with_seq(3)
+            .with_ts(Time::from_millis(2));
         assert!(item.is_cloneable());
         let dup = item.try_clone().unwrap();
         assert_eq!(dup.meta, item.meta);

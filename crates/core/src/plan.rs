@@ -88,6 +88,11 @@ pub struct StagePlacement {
     pub mode: Mode,
     /// Direct call or coroutine.
     pub exec: Exec,
+    /// The transport this stage bridges to when it sits on a planned
+    /// section boundary (`scheme://addr`, set via
+    /// [`Pipeline::set_transport`](crate::Pipeline::set_transport));
+    /// `None` for purely local stages.
+    pub transport: Option<String>,
 }
 
 /// One section's thread/coroutine allocation.
@@ -143,7 +148,11 @@ impl std::fmt::Display for PlanReport {
                 s.threads()
             )?;
             for p in &s.stages {
-                writeln!(f, "  {:24} {:8} {} {}", p.name, p.style, p.mode, p.exec)?;
+                write!(f, "  {:24} {:8} {} {}", p.name, p.style, p.mode, p.exec)?;
+                match &p.transport {
+                    Some(t) => writeln!(f, " via {t}")?,
+                    None => writeln!(f)?,
+                }
             }
         }
         Ok(())
@@ -202,9 +211,17 @@ pub(crate) enum PushBuild {
 
 /// Who owns a section's activity.
 pub(crate) enum OwnerBuild {
-    Pump { pump: Box<dyn Pump> },
-    ActiveSource { id: NodeId, stage: Box<dyn ActiveObject> },
-    ActiveSink { id: NodeId, stage: Box<dyn ActiveObject> },
+    Pump {
+        pump: Box<dyn Pump>,
+    },
+    ActiveSource {
+        id: NodeId,
+        stage: Box<dyn ActiveObject>,
+    },
+    ActiveSink {
+        id: NodeId,
+        stage: Box<dyn ActiveObject>,
+    },
 }
 
 pub(crate) struct SectionBuild {
@@ -456,7 +473,10 @@ fn partition_sections(g: &GraphInner) -> Vec<Vec<NodeId>> {
 fn take_style(g: &mut GraphInner, id: NodeId) -> Style {
     match g.nodes[id.0].kind.take() {
         Some(NodeKind::Stage(s)) => s,
-        other => unreachable!("expected stage at {id}, found {:?}", other.map(|k| k.kind_name())),
+        other => unreachable!(
+            "expected stage at {id}, found {:?}",
+            other.map(|k| k.kind_name())
+        ),
     }
 }
 
@@ -586,6 +606,7 @@ fn build_pull(
         let sname = style_name_of(g, id);
         let exec = exec_for(sname, Mode::Pull);
         let name = g.node(id).name.clone();
+        let transport = g.node(id).transport.clone();
         let style = take_style(g, id);
         built = match exec {
             Exec::Direct => PullBuild::Stage {
@@ -607,6 +628,7 @@ fn build_pull(
             style: sname.to_owned(),
             mode: Mode::Pull,
             exec,
+            transport,
         });
     }
     // Placements read more naturally source-to-owner.
@@ -636,6 +658,7 @@ fn build_push(
                 style: kind.kind_name().to_owned(),
                 mode: Mode::Push,
                 exec: Exec::Direct,
+                transport: g.node(id).transport.clone(),
             });
             let mut branches = Vec::new();
             for head in branch_heads {
@@ -652,6 +675,7 @@ fn build_push(
                 style: sname.to_owned(),
                 mode: Mode::Push,
                 exec,
+                transport: g.node(id).transport.clone(),
             });
             let next = g.out_edges(id).next().map(|e| e.to);
             let style = take_style(g, id);
@@ -750,6 +774,7 @@ mod tests {
                     style: "function".into(),
                     mode: Mode::Push,
                     exec: Exec::Direct,
+                    transport: Some("tcp://10.0.0.7:4000".into()),
                 }],
                 coroutines: 0,
             }],
@@ -758,5 +783,6 @@ mod tests {
         assert_eq!(report.total_coroutines(), 0);
         assert!(report.to_string().contains("pump"));
         assert!(report.to_string().contains("dec"));
+        assert!(report.to_string().contains("via tcp://10.0.0.7:4000"));
     }
 }

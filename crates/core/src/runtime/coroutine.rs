@@ -83,10 +83,7 @@ impl MsgEndpoint {
             match rt.wait_tags_ext(ctx, &[tags::PUT], true) {
                 WaitOutcome::Msg(mut env) => {
                     ctx.adopt_constraint(env.constraint());
-                    let item: Item = env
-                        .message_mut()
-                        .take_body()
-                        .expect("PUT carries an Item");
+                    let item: Item = env.message_mut().take_body().expect("PUT carries an Item");
                     self.item = Some(item);
                     self.pending = Some(env);
                 }
@@ -155,9 +152,11 @@ impl CoroFn {
             // Active object anywhere: its own loop, wired per position
             // (Figs. 5 and 6).
             (Style::Active(stage), CoroSide::AnswersGets) => {
-                let up = self.up.as_mut().expect("pull-position coroutine has an upstream");
-                let mut sctx =
-                    StageCtx::wired(ctx, rt, GetWiring::Tree(up), PutWiring::Msg(ep));
+                let up = self
+                    .up
+                    .as_mut()
+                    .expect("pull-position coroutine has an upstream");
+                let mut sctx = StageCtx::wired(ctx, rt, GetWiring::Tree(up), PutWiring::Msg(ep));
                 stage.run(&mut sctx);
             }
             (Style::Active(stage), CoroSide::ReceivesPuts) => {
@@ -165,8 +164,7 @@ impl CoroFn {
                     .down
                     .as_mut()
                     .expect("push-position coroutine has a downstream");
-                let mut sctx =
-                    StageCtx::wired(ctx, rt, GetWiring::Msg(ep), PutWiring::Tree(down));
+                let mut sctx = StageCtx::wired(ctx, rt, GetWiring::Msg(ep), PutWiring::Tree(down));
                 stage.run(&mut sctx);
             }
             // A pull-style (producer) component used in push mode: wrap its
@@ -180,8 +178,8 @@ impl CoroFn {
                     let produced = {
                         let mut sctx =
                             StageCtx::wired(ctx, rt, GetWiring::Msg(ep), PutWiring::None);
-                        let out = stage.pull(&mut sctx);
-                        out
+
+                        stage.pull(&mut sctx)
                     };
                     match produced {
                         Some(item) => {
@@ -208,17 +206,16 @@ impl CoroFn {
             // A push-style (consumer) component used in pull mode: wrap its
             // push in a loop that pulls inputs for it (Figs. 7b and 8b).
             (Style::Consumer(stage), CoroSide::AnswersGets) => {
-                let up = self.up.as_mut().expect("pull-position coroutine has an upstream");
+                let up = self
+                    .up
+                    .as_mut()
+                    .expect("pull-position coroutine has an upstream");
                 loop {
                     match up.pull(ctx, rt) {
                         Pulled::Item(item) => {
                             let status = {
-                                let mut sctx = StageCtx::wired(
-                                    ctx,
-                                    rt,
-                                    GetWiring::None,
-                                    PutWiring::Msg(ep),
-                                );
+                                let mut sctx =
+                                    StageCtx::wired(ctx, rt, GetWiring::None, PutWiring::Msg(ep));
                                 stage.push(&mut sctx, item);
                                 sctx.push_status()
                             };

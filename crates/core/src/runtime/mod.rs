@@ -152,7 +152,12 @@ impl RtState {
     }
 
     /// Sends an event to one specific stage.
-    pub(crate) fn send_to_stage(&mut self, ctx: &mut Ctx<'_>, stage: StageId, event: &ControlEvent) {
+    pub(crate) fn send_to_stage(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stage: StageId,
+        event: &ControlEvent,
+    ) {
         let target = {
             let routing = self.shared.routing.lock();
             routing.stage_thread.get(&stage).copied()
@@ -307,12 +312,10 @@ impl RtState {
                         None => Pulled::Eos,
                     };
                 }
-                Ok(SyncOutcome::Interrupted(p, ctl)) => {
-                    match self.note_control(ctl) {
-                        ControlFlowHint::Abort => return Pulled::Interrupted,
-                        _ => pending = p,
-                    }
-                }
+                Ok(SyncOutcome::Interrupted(p, ctl)) => match self.note_control(ctl) {
+                    ControlFlowHint::Abort => return Pulled::Interrupted,
+                    _ => pending = p,
+                },
                 Err(_) => {
                     self.stopping = true;
                     return Pulled::Interrupted;

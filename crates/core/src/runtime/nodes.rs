@@ -72,10 +72,7 @@ impl PullNode {
 
     /// Visits every stage in this thread's chain (not crossing coroutine
     /// or buffer boundaries).
-    pub(crate) fn for_each_stage(
-        &mut self,
-        f: &mut dyn FnMut(NodeId, &mut dyn Stage),
-    ) {
+    pub(crate) fn for_each_stage(&mut self, f: &mut dyn FnMut(NodeId, &mut dyn Stage)) {
         match self {
             PullNode::Producer { id, stage, up } => {
                 f(*id, stage.as_mut());

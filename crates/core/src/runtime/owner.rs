@@ -93,8 +93,7 @@ impl OwnerFn {
             }
             Schedule::At(t) => {
                 let constraint = pump.cycle_constraint(ctx.now());
-                self.pending_tick =
-                    Some(ctx.set_timer(t, Message::signal(tags::TICK), constraint));
+                self.pending_tick = Some(ctx.set_timer(t, Message::signal(tags::TICK), constraint));
             }
             Schedule::Immediately => {
                 let constraint = pump.cycle_constraint(ctx.now());
@@ -143,12 +142,8 @@ impl OwnerFn {
         match &mut self.role {
             OwnerRole::ActiveSource { stage, .. } => {
                 {
-                    let mut sctx = StageCtx::wired(
-                        ctx,
-                        rt,
-                        GetWiring::None,
-                        PutWiring::Tree(&mut self.down),
-                    );
+                    let mut sctx =
+                        StageCtx::wired(ctx, rt, GetWiring::None, PutWiring::Tree(&mut self.down));
                     stage.run(&mut sctx);
                 }
                 if !rt.stopping {
@@ -157,12 +152,8 @@ impl OwnerFn {
                 }
             }
             OwnerRole::ActiveSink { stage, .. } => {
-                let mut sctx = StageCtx::wired(
-                    ctx,
-                    rt,
-                    GetWiring::Tree(&mut self.up),
-                    PutWiring::None,
-                );
+                let mut sctx =
+                    StageCtx::wired(ctx, rt, GetWiring::Tree(&mut self.up), PutWiring::None);
                 stage.run(&mut sctx);
             }
             OwnerRole::Pump { .. } => unreachable!("run_active on a pump section"),
@@ -249,13 +240,11 @@ impl mbthread::CodeFn for OwnerFn {
             t if t == tags::TICK => {
                 self.run_cycle_and_reschedule(ctx);
             }
-            t if t == tags::ARRIVAL => {
-                if self.waiting_arrival {
-                    self.waiting_arrival = false;
-                    self.run_cycle_and_reschedule(ctx);
-                }
-                // Otherwise: a stray wakeup from an earlier blocking wait.
+            t if t == tags::ARRIVAL && self.waiting_arrival => {
+                self.waiting_arrival = false;
+                self.run_cycle_and_reschedule(ctx);
             }
+            // Otherwise: a stray wakeup from an earlier blocking wait.
             _ => { /* SPACE and other stray wakeups are harmless */ }
         }
         self.drain(ctx);

@@ -2,15 +2,13 @@
 
 use super::nodes::{instantiate_pull, instantiate_push};
 use super::owner::{OwnerFn, OwnerRole};
-use super::{RtState, Routing, Shared};
+use super::{Routing, RtState, Shared};
 use crate::buffer::BufferProbe;
 use crate::error::PipeError;
 use crate::events::{tags, ControlEvent, EventMsg, EventTarget};
 use crate::graph::StageId;
 use crate::plan::{OwnerBuild, Plan, PlanReport};
-use mbthread::{
-    Constraint, ExternalPort, Kernel, MatchSpec, Message, Priority, SpawnOptions,
-};
+use mbthread::{Constraint, ExternalPort, Kernel, MatchSpec, Message, Priority, SpawnOptions};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -209,9 +207,7 @@ impl EventSubscription {
     pub fn recv_timeout(&self, timeout: Duration) -> Option<ControlEvent> {
         let spec = MatchSpec::Tags(vec![tags::CTRL]);
         let mut env = self.port.recv_timeout(&spec, timeout)?;
-        env.message_mut()
-            .take_body::<EventMsg>()
-            .map(|m| m.event)
+        env.message_mut().take_body::<EventMsg>().map(|m| m.event)
     }
 
     /// Waits up to `timeout` for an event of the given kind (e.g. `"eos"`);

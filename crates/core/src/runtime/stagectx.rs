@@ -276,6 +276,8 @@ impl EventCtx<'_, '_> {
 
 impl std::fmt::Debug for EventCtx<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventCtx").field("stage", &self.stage).finish()
+        f.debug_struct("EventCtx")
+            .field("stage", &self.stage)
+            .finish()
     }
 }

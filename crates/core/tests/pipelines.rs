@@ -495,7 +495,12 @@ fn active_sink_pulls_like_an_audio_device() {
         let pipeline = Pipeline::new(&kernel, "active-sink");
         let source = pipeline.add_producer("source", IterSource::new("source", 0u32..7));
         let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let sink = pipeline.add_active("sink", ActiveSink { out: Arc::clone(&out) });
+        let sink = pipeline.add_active(
+            "sink",
+            ActiveSink {
+                out: Arc::clone(&out),
+            },
+        );
         let _ = source >> sink;
         let running = pipeline.start().expect("plan");
         assert_eq!(running.report().sections[0].owner_kind, "active-sink");
@@ -764,12 +769,16 @@ fn query_spec_propagates_through_transformations() {
         assert!(spec_src
             .item()
             .compatible_with(&infopipes::ItemType::of::<u32>()));
-        let spec_widened = pipeline.connect(source, widen).and_then(|()| {
-            pipeline.query_spec(widen)
-        });
+        let spec_widened = pipeline
+            .connect(source, widen)
+            .and_then(|()| pipeline.query_spec(widen));
         let spec = spec_widened.unwrap();
-        assert!(spec.item().compatible_with(&infopipes::ItemType::of::<u64>()));
-        assert!(!spec.item().compatible_with(&infopipes::ItemType::of::<u32>()));
+        assert!(spec
+            .item()
+            .compatible_with(&infopipes::ItemType::of::<u64>()));
+        assert!(!spec
+            .item()
+            .compatible_with(&infopipes::ItemType::of::<u32>()));
     }
     kernel.shutdown();
 }

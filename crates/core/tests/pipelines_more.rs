@@ -253,7 +253,7 @@ fn dropping_function_in_pull_mode_multiplies_upstream_pulls() {
         let source = pipeline.add_producer("source", IterSource::new("source", 0u32..30));
         let sieve = pipeline.add_function(
             "sieve",
-            FnFunction::new("sieve", |x: u32| (x % 3 == 0).then_some(x)),
+            FnFunction::new("sieve", |x: u32| x.is_multiple_of(3).then_some(x)),
         );
         let pump = pipeline.add_pump("pump", FreePump::new());
         let (sink, out) = CollectSink::<u32>::new("sink");

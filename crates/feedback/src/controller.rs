@@ -166,8 +166,7 @@ impl Controller for ProportionalRateController {
         // A consumer-side pump should speed up when the buffer is too
         // full and slow down when it drains.
         let error = reading.value - self.target_fill;
-        let rate = (self.base_rate * (1.0 + self.gain * error))
-            .clamp(self.min_rate, self.max_rate);
+        let rate = (self.base_rate * (1.0 + self.gain * error)).clamp(self.min_rate, self.max_rate);
         Some(ControlEvent::SetRate(rate))
     }
 }
@@ -207,8 +206,8 @@ mod tests {
     fn drop_controller_recovers_with_hysteresis() {
         let mut c = DropLevelController::new("recv-rate-hz", 30.0);
         let _ = c.observe(&reading("recv-rate-hz", 10.0)); // -> level 1
-        // Expected at level 1 is ~10.2 Hz; sustained full delivery should
-        // lower the level, but only after `patience` good windows.
+                                                           // Expected at level 1 is ~10.2 Hz; sustained full delivery should
+                                                           // lower the level, but only after `patience` good windows.
         assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
         assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
         assert_eq!(
@@ -246,11 +245,11 @@ mod tests {
 
     #[test]
     fn closure_controllers_work() {
-        let mut c = |r: &SensorReading| {
-            (r.value > 1.0).then_some(ControlEvent::SetDropLevel(1))
-        };
-        assert_eq!(Controller::observe(&mut c, &reading("x", 2.0)),
-            Some(ControlEvent::SetDropLevel(1)));
+        let mut c = |r: &SensorReading| (r.value > 1.0).then_some(ControlEvent::SetDropLevel(1));
+        assert_eq!(
+            Controller::observe(&mut c, &reading("x", 2.0)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
         assert_eq!(Controller::observe(&mut c, &reading("x", 0.5)), None);
     }
 }

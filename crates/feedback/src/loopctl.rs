@@ -133,8 +133,7 @@ mod tests {
             // escalate the drop level.
             let pump = pipeline.add_pump("pump", ClockedPump::hz(10.0));
             let controller = crate::DropLevelController::new("recv-rate-hz", 100.0);
-            let (fb, stats) =
-                FeedbackLoop::with_rate_sensor("fb", "recv-rate-hz", 5, controller);
+            let (fb, stats) = FeedbackLoop::with_rate_sensor("fb", "recv-rate-hz", 5, controller);
             let fb = pipeline.add_consumer("fb", fb);
             let (sink, _out) = CollectSink::<u32>::new("sink");
             let sink = pipeline.add_consumer("sink", sink);

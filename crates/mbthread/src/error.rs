@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn displays_are_nonempty_and_lowercase() {
-        for e in [
-            KernelError::Shutdown,
-            KernelError::PeerGone(ThreadId(3)),
-        ] {
+        for e in [KernelError::Shutdown, KernelError::PeerGone(ThreadId(3))] {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
@@ -94,6 +91,9 @@ mod tests {
             KernelError::from(SendError::UnknownThread(ThreadId(7))),
             KernelError::PeerGone(ThreadId(7))
         );
-        assert_eq!(KernelError::from(SendError::Shutdown), KernelError::Shutdown);
+        assert_eq!(
+            KernelError::from(SendError::Shutdown),
+            KernelError::Shutdown
+        );
     }
 }

@@ -143,8 +143,7 @@ impl ExternalPort {
     ///
     /// Returns [`KernelError::Shutdown`] when the kernel shuts down.
     pub fn recv_matching(&self, spec: &MatchSpec) -> Result<Envelope, KernelError> {
-        self.blocking_recv(spec, None)
-            .expect("no timeout given")
+        self.blocking_recv(spec, None).expect("no timeout given")
     }
 
     /// Blocks until any message arrives at this port.
@@ -159,9 +158,7 @@ impl ExternalPort {
     /// Like [`ExternalPort::recv_matching`] with a wall-clock timeout;
     /// `None` on timeout.
     pub fn recv_timeout(&self, spec: &MatchSpec, timeout: Duration) -> Option<Envelope> {
-        self.blocking_recv(spec, Some(timeout))
-            .map(Result::ok)
-            .flatten()
+        self.blocking_recv(spec, Some(timeout)).and_then(Result::ok)
     }
 
     /// Current kernel time (convenience).
@@ -239,6 +236,8 @@ impl Drop for ExternalPort {
 
 impl std::fmt::Debug for ExternalPort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExternalPort").field("id", &self.id).finish()
+        f.debug_struct("ExternalPort")
+            .field("id", &self.id)
+            .finish()
     }
 }

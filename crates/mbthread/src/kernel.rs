@@ -327,16 +327,11 @@ fn thread_main(inner: &Arc<KernelInner>, me: ThreadId, mut code: Box<dyn CodeFn>
             return;
         }
         code.on_start(&mut ctx);
-        loop {
-            match ctx.main_receive() {
-                Ok(env) => {
-                    let flow = code.on_message(&mut ctx, env);
-                    ctx.clear_current_constraint();
-                    if flow == Flow::Stop {
-                        break;
-                    }
-                }
-                Err(_) => break,
+        while let Ok(env) = ctx.main_receive() {
+            let flow = code.on_message(&mut ctx, env);
+            ctx.clear_current_constraint();
+            if flow == Flow::Stop {
+                break;
             }
         }
     }));

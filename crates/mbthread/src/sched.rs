@@ -306,10 +306,7 @@ pub(crate) fn enqueue(
     }
     StatCounters::bump(&stats.messages_sent);
     let external = rec.external;
-    let matched = rec
-        .wait
-        .as_ref()
-        .is_some_and(|spec| spec.matches(&env));
+    let matched = rec.wait.as_ref().is_some_and(|spec| spec.matches(&env));
     rec.mailbox.push_back(env);
     if external {
         // External ports are OS threads waiting on their own condvar; they

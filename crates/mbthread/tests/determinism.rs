@@ -8,11 +8,19 @@ use std::time::Duration;
 
 const TICK: Tag = Tag(1);
 const DATA: Tag = Tag(2);
+const GO: Tag = Tag(3);
 
 type Trace = Arc<Mutex<Vec<(String, u64)>>>;
 
 /// A small program: two tickers at co-prime periods and a relay that
 /// forwards with per-message work, all logging (who, virtual-us).
+///
+/// Construction follows the same pattern as the pipeline layer: nothing
+/// sets a timer until a single in-kernel `GO` fans out to every ticker.
+/// While no timer exists the virtual clock cannot advance, so the whole
+/// schedule is anchored at t=0 no matter how slowly the external main
+/// thread performs the spawns — timers set from `on_start` would race
+/// the virtual clock against the spawning thread.
 fn run_program() -> (Vec<(String, u64)>, mbthread::KernelStats) {
     let kernel = Kernel::new(KernelConfig::virtual_time());
     let trace: Trace = Arc::new(Mutex::new(Vec::new()));
@@ -25,11 +33,12 @@ fn run_program() -> (Vec<(String, u64)>, mbthread::KernelStats) {
         trace: Trace,
     }
     impl mbthread::CodeFn for Ticker {
-        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            let at = ctx.now() + self.period;
-            let _ = ctx.set_timer(at, Message::signal(TICK), None);
-        }
-        fn on_message(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) -> Flow {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, env: Envelope) -> Flow {
+            if env.tag() == GO {
+                let at = ctx.now() + self.period;
+                let _ = ctx.set_timer(at, Message::signal(TICK), None);
+                return Flow::Continue;
+            }
             self.trace
                 .lock()
                 .unwrap()
@@ -62,8 +71,9 @@ fn run_program() -> (Vec<(String, u64)>, mbthread::KernelStats) {
         )
         .unwrap();
 
+    let mut tickers = Vec::new();
     for (name, period_us, count) in [("a", 700u64, 20u32), ("b", 1100, 13)] {
-        kernel
+        let id = kernel
             .spawn(
                 name,
                 Ticker {
@@ -75,7 +85,21 @@ fn run_program() -> (Vec<(String, u64)>, mbthread::KernelStats) {
                 },
             )
             .unwrap();
+        tickers.push(id);
     }
+
+    // Single in-kernel starter: fans GO out to every ticker in one
+    // message-processing step, atomically with respect to virtual time.
+    let starter = kernel
+        .spawn("starter", move |ctx: &mut Ctx<'_>, _env: Envelope| {
+            for &t in &tickers {
+                let _ = ctx.send(t, Message::signal(GO));
+            }
+            Flow::Stop
+        })
+        .unwrap();
+    let port = kernel.external("main");
+    port.send(starter, Message::signal(GO)).unwrap();
 
     kernel.wait_quiescent();
     let stats = kernel.stats();

@@ -144,7 +144,10 @@ fn preemption_hands_cpu_to_more_urgent_thread_mid_turn() {
     port.send(sender, Message::signal(DATA)).unwrap();
     kernel.wait_quiescent();
 
-    assert_eq!(entries(&order), vec!["before-send", "urgent-ran", "after-send"]);
+    assert_eq!(
+        entries(&order),
+        vec!["before-send", "urgent-ran", "after-send"]
+    );
     kernel.shutdown();
 }
 
@@ -223,7 +226,12 @@ fn virtual_clock_is_deterministic_for_timers() {
         .unwrap();
     kernel.wait_quiescent();
 
-    let got: Vec<u64> = stamps.lock().unwrap().iter().map(|t| t.as_millis()).collect();
+    let got: Vec<u64> = stamps
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|t| t.as_millis())
+        .collect();
     assert_eq!(got, vec![10, 20, 30, 40, 50]);
     kernel.shutdown();
 }
@@ -264,9 +272,7 @@ fn wait_or_delivers_control_while_blocked_for_reply() {
         .spawn("slow", |ctx: &mut Ctx<'_>, env: Envelope| {
             if env.wants_reply() {
                 // Hold the request until nudged.
-                let nudge = ctx
-                    .receive_matching(&MatchSpec::Tags(vec![TICK]))
-                    .unwrap();
+                let nudge = ctx.receive_matching(&MatchSpec::Tags(vec![TICK])).unwrap();
                 drop(nudge);
                 ctx.reply(&env, Message::signal(DATA)).unwrap();
             }
@@ -476,9 +482,16 @@ fn timer_cancel_prevents_delivery() {
                 return Flow::Continue;
             }
             // Set two timers, cancel one.
-            let keep = ctx.set_timer(ctx.now() + Duration::from_millis(5), Message::signal(TICK), None);
-            let cancel =
-                ctx.set_timer(ctx.now() + Duration::from_millis(6), Message::signal(TICK), None);
+            let keep = ctx.set_timer(
+                ctx.now() + Duration::from_millis(5),
+                Message::signal(TICK),
+                None,
+            );
+            let cancel = ctx.set_timer(
+                ctx.now() + Duration::from_millis(6),
+                Message::signal(TICK),
+                None,
+            );
             assert!(ctx.cancel_timer(cancel));
             let _ = keep;
             Flow::Continue
@@ -545,7 +558,11 @@ fn real_clock_timers_fire() {
                 *fired2.lock().unwrap() = true;
                 Flow::Stop
             } else {
-                let _ = ctx.set_timer(ctx.now() + Duration::from_millis(5), Message::signal(TICK), None);
+                let _ = ctx.set_timer(
+                    ctx.now() + Duration::from_millis(5),
+                    Message::signal(TICK),
+                    None,
+                );
                 Flow::Continue
             }
         })

@@ -145,7 +145,7 @@ impl infopipes::ActiveObject for AudioDevice {
             let played_at = ctx.now();
             self.stats.lock().timing.record(played_at.as_micros());
             drop(item);
-            next_deadline = next_deadline + self.period;
+            next_deadline += self.period;
         }
     }
 }

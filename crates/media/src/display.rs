@@ -52,8 +52,7 @@ impl Stage for DisplaySink {
     }
 
     fn accepts(&self) -> Typespec {
-        Typespec::with_item_type(ItemType::of::<RawFrame>())
-            .offering_event("window-resize")
+        Typespec::with_item_type(ItemType::of::<RawFrame>()).offering_event("window-resize")
     }
 }
 

@@ -48,8 +48,7 @@ impl Stage for PriorityDropFilter {
     }
 
     fn accepts(&self) -> Typespec {
-        Typespec::with_item_type(ItemType::of::<CompressedFrame>())
-            .offering_event("set-drop-level")
+        Typespec::with_item_type(ItemType::of::<CompressedFrame>()).offering_event("set-drop-level")
     }
 
     fn on_event(&mut self, _ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {

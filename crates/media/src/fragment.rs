@@ -215,16 +215,17 @@ mod tests {
             let src = pipeline.add_producer("src", IterSource::new("src", frames));
             let pump = pipeline.add_pump("pump", FreePump::new());
             let frag = pipeline.add_consumer("frag", Fragmenter::new(mtu));
-            let lossy = pipeline.add_function(
-                "lossy",
-                infopipes::helpers::FnFunction::new("lossy", move |p: Packet| {
-                    if lose(&p) {
-                        None
-                    } else {
-                        Some(p)
-                    }
-                }),
-            );
+            let lossy =
+                pipeline.add_function(
+                    "lossy",
+                    infopipes::helpers::FnFunction::new("lossy", move |p: Packet| {
+                        if lose(&p) {
+                            None
+                        } else {
+                            Some(p)
+                        }
+                    }),
+                );
             let defrag = pipeline.add_consumer("defrag", Defragmenter::new());
             let (sink, out) = CollectSink::<CompressedFrame>::new("sink");
             let sink = pipeline.add_consumer("sink", sink);

@@ -123,10 +123,9 @@ pub(crate) fn synth_payload(seq: u64, size: usize) -> Vec<u8> {
 /// The checksum a correct decode of `data` yields.
 #[must_use]
 pub(crate) fn payload_checksum(data: &[u8]) -> u64 {
-    data.iter()
-        .fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
-            (acc ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3)
-        })
+    data.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
 }
 
 #[cfg(test)]

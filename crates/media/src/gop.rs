@@ -53,7 +53,7 @@ impl GopStructure {
         let pos = seq % self.gop_size;
         if pos == 0 {
             FrameType::I
-        } else if self.b_run == 0 || pos % (self.b_run + 1) == 0 {
+        } else if self.b_run == 0 || pos.is_multiple_of(self.b_run + 1) {
             FrameType::P
         } else {
             FrameType::B
@@ -135,7 +135,7 @@ mod tests {
         assert_eq!(g.dependency(4), Some(3)); // B -> P
         assert_eq!(g.dependency(6), Some(3)); // P -> P
         assert_eq!(g.dependency(8), Some(6)); // B -> P
-        // Nothing crosses a GOP boundary.
+                                              // Nothing crosses a GOP boundary.
         assert_eq!(g.dependency(9), None);
         assert_eq!(g.dependency(10), Some(9));
     }

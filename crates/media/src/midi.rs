@@ -62,7 +62,7 @@ impl Producer for MidiSource {
         let ev = MidiEvent {
             channel: self.channel,
             note: 60 + (seq % 12) as u8,
-            velocity: if seq % 2 == 0 { 96 } else { 0 },
+            velocity: if seq.is_multiple_of(2) { 96 } else { 0 },
             at_us: seq * self.spacing_us,
         };
         Some(Item::cloneable(ev).with_seq(seq))

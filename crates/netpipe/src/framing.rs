@@ -1,6 +1,11 @@
-//! Length-prefixed framing for stream transports (TCP netpipes).
+//! Length-prefixed framing for *any* stream-oriented transport backend.
 //!
-//! Each frame is `[kind: u8][len: u32 LE][payload: len bytes]`.
+//! Each frame is `[kind: u8][len: u32 LE][payload: len bytes]`. The
+//! codec is written against `io::Read`/`io::Write`, so every transport
+//! that runs over an ordered byte stream (TCP today; QUIC streams or
+//! Unix sockets tomorrow) reuses it unchanged — backends with message
+//! boundaries of their own (the simulator, in-process rings) skip it
+//! entirely and carry [`Frame`](crate::Frame) values directly.
 
 use std::io::{self, Read, Write};
 
@@ -18,7 +23,7 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             FrameKind::Data => 0,
             FrameKind::Event => 1,
@@ -27,7 +32,7 @@ impl FrameKind {
         }
     }
 
-    fn from_byte(b: u8) -> io::Result<FrameKind> {
+    pub(crate) fn from_byte(b: u8) -> io::Result<FrameKind> {
         Ok(match b {
             0 => FrameKind::Data,
             1 => FrameKind::Event,

@@ -6,38 +6,48 @@
 //! Marshalling filters on either side translate the raw data flow to a
 //! higher-level information flow and vice-versa."
 //!
-//! This crate provides:
+//! This crate provides, layer by layer:
 //!
 //! * a from-scratch binary **wire codec** ([`wire`]) implementing serde's
 //!   `Serializer`/`Deserializer`,
 //! * **marshalling filters** ([`Marshal`], [`Unmarshal`]) between typed
 //!   items and [`WireBytes`], which also rewrite the Typespec *location*
-//!   property — the only components allowed to (§2.4),
-//! * a **simulated network** ([`SimLink`]) with configurable latency,
-//!   jitter, bandwidth, and a bounded queue whose overflow produces the
-//!   "arbitrary dropping in the network" the Fig. 1 experiments need —
-//!   deterministic under virtual-time kernels,
-//! * a **TCP netpipe** ([`TcpSendEnd`], [`spawn_tcp_receiver`]) over real
-//!   sockets, where network packets are mapped to kernel messages by
-//!   reader threads,
+//!   property — the only components allowed to (§2.4). The rewrite is
+//!   driven by the transport's [`PeerIdentity`]
+//!   ([`Unmarshal::at_peer`]), so a flow's location names where it
+//!   really came from,
+//! * a **pluggable transport layer** ([`transport`]): one [`Transport`]
+//!   trait — connect/listen, frame-level sends with a backpressure
+//!   signal, a prioritized control-event lane, link statistics — with
+//!   three interchangeable backends:
+//!   [`InProcTransport`] (lock-free in-process channel),
+//!   [`SimTransport`] (simulated latency/bandwidth/jitter/loss,
+//!   deterministic under virtual time — the Fig. 1 congested network),
+//!   and [`TcpTransport`] (real sockets). [`NetSendEnd`] is the one
+//!   generic producer-side pipeline stage serving every backend, and
+//!   [`PipelineTransportExt::add_net_sink`] records the transport at the
+//!   planned section boundary,
 //! * **remote component factories** and a remote Typespec query
-//!   ([`remote`]): a `RemoteHost` builds a consumer-side pipeline from a
-//!   client's component list and forwards control events in both
-//!   directions.
+//!   ([`remote`]), generic over the transport: a [`RemoteHost`] builds a
+//!   consumer-side pipeline from a client's component list and forwards
+//!   control events in both directions — the same [`RemoteClient`] code
+//!   runs over TCP, the simulator, or an in-process link.
 
 #![warn(missing_docs)]
 
-mod framing;
+pub mod framing;
 mod marshal;
 mod proto;
 pub mod remote;
-mod sim;
-mod tcp;
+pub mod transport;
 pub mod wire;
 
 pub use framing::{read_frame, write_frame, FrameKind};
 pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
-pub use sim::{LinkStats, SimConfig, SimLink, SimSendEnd};
-pub use tcp::{spawn_tcp_receiver, TcpSendEnd};
+pub use transport::{
+    Acceptor, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats, NetSendEnd,
+    PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor, SimConfig, SimLink,
+    SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport, TransportError,
+};

@@ -5,8 +5,13 @@
 //! "encapsulate the QoS mapping of netpipe properties and information flow
 //! properties" (§2.4). They are also where the Typespec *location*
 //! property changes: a [`Marshal`] stamps the producer node, an
-//! [`Unmarshal`] stamps the consumer node.
+//! [`Unmarshal`] stamps the consumer node. The stamp is ideally the
+//! transport's own [`PeerIdentity`](crate::PeerIdentity)
+//! ([`Marshal::at_peer`], [`Unmarshal::at_peer`]) rather than a
+//! hand-written string, so the location property tracks where the flow
+//! actually crossed the network.
 
+use crate::transport::PeerIdentity;
 use crate::wire;
 use infopipes::{Function, Item, ItemType, Stage};
 use parking_lot::Mutex;
@@ -60,6 +65,14 @@ impl<T: Serialize + Send + 'static> Marshal<T> {
         self.from_node = Some(node.into());
         self
     }
+
+    /// Records a transport peer identity as the producer-side location
+    /// (`scheme://addr`), tying the location property to the link the
+    /// flow leaves through.
+    #[must_use]
+    pub fn at_peer(self, peer: &PeerIdentity) -> Marshal<T> {
+        self.at_node(peer.to_string())
+    }
 }
 
 impl<T: Serialize + Send + 'static> Stage for Marshal<T> {
@@ -92,12 +105,17 @@ impl<T: Serialize + Send + 'static> Function for Marshal<T> {
 }
 
 /// Counters kept by an [`Unmarshal`] filter.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UnmarshalStats {
     /// Messages decoded.
     pub decoded: u64,
     /// Messages dropped because decoding failed (corruption).
     pub errors: u64,
+    /// The location stamped into the flow's Typespec as it leaves this
+    /// filter — the transport peer identity when configured with
+    /// [`Unmarshal::at_peer`], a hand-written node name with
+    /// [`Unmarshal::at_node`], `None` when the rewrite is disabled.
+    pub location: Option<String>,
 }
 
 /// Deserializes [`WireBytes`] back to typed items (function style).
@@ -126,7 +144,16 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Unmarshal<T> {
     #[must_use]
     pub fn at_node(mut self, node: impl Into<String>) -> Unmarshal<T> {
         self.to_node = Some(node.into());
+        self.stats.lock().location = self.to_node.clone();
         self
+    }
+
+    /// Records a transport peer identity as the consumer-side location
+    /// (`scheme://addr`): the flow is stamped with the link it actually
+    /// arrived over, instead of a hard-coded string.
+    #[must_use]
+    pub fn at_peer(self, peer: &PeerIdentity) -> Unmarshal<T> {
+        self.at_node(peer.to_string())
     }
 
     /// A handle on the decode statistics.
@@ -232,6 +259,32 @@ mod tests {
         assert_eq!(
             delivered.qos(&QosKey::FrameRateHz),
             Some(QosRange::exactly(30.0))
+        );
+    }
+
+    #[test]
+    fn peer_identity_drives_the_location_rewrite() {
+        use crate::transport::PeerIdentity;
+        let peer = PeerIdentity::new("tcp", "10.1.2.3:9000");
+        let m = Marshal::<u32>::new("m").at_peer(&peer);
+        let u = Unmarshal::<u32>::new("u").at_peer(&peer);
+
+        let on_wire = m.transform_spec(&Typespec::of::<u32>()).unwrap();
+        assert_eq!(on_wire.location(), Some("tcp://10.1.2.3:9000"));
+        let delivered = u.transform_spec(&on_wire).unwrap();
+        assert_eq!(delivered.location(), Some("tcp://10.1.2.3:9000"));
+
+        // The stamped location is surfaced in the stats probe.
+        assert_eq!(
+            u.stats_handle().lock().location.as_deref(),
+            Some("tcp://10.1.2.3:9000")
+        );
+        assert_eq!(
+            Unmarshal::<u32>::new("plain")
+                .stats_handle()
+                .lock()
+                .location,
+            None
         );
     }
 

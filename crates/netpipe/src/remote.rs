@@ -1,4 +1,5 @@
-//! Remote component factories and Typespec queries (§2.4).
+//! Remote component factories and Typespec queries (§2.4),
+//! transport-agnostic.
 //!
 //! "In addition to netpipes, the Infopipe platform provides protocols and
 //! factories for the creation of remote Infopipe components. Remote
@@ -6,30 +7,39 @@
 //! mechanism for property marshalling."
 //!
 //! A [`RemoteHost`] owns a [`ComponentRegistry`] of named component
-//! factories. A [`RemoteClient`] connects, names the chain of components
-//! it wants instantiated behind the netpipe (`CreatePipeline`), may query
-//! the resulting flow's Typespec (`QuerySpec`), and then streams data
-//! frames; control events are forwarded in both directions.
+//! factories. A [`RemoteClient`] connects over **any**
+//! [`Transport`](crate::Transport) — TCP, the network simulator, or an
+//! in-process link — names the chain of components it wants instantiated
+//! behind the netpipe (`CreatePipeline`), may query the resulting flow's
+//! Typespec (`QuerySpec`), and then streams data frames; control events
+//! are forwarded in both directions on the transport's control lane.
+//!
+//! The protocol sees only [`Frame`]s, so a `RemoteClient<TcpLink>` and a
+//! `RemoteClient<SimLink>` run exactly the same code — swapping the
+//! transport swaps the wire, nothing else.
 
-use crate::framing::{read_frame, write_frame, FrameKind};
-use crate::marshal::WireBytes;
 use crate::proto::{CtrlMsg, WireEvent};
+use crate::transport::{Frame, Link, PeerIdentity, RecvOutcome, Transport};
 use crate::wire;
-use infopipes::{BufferSpec, ControlEvent, FreePump, Item, Pipeline, Style};
+use infopipes::{
+    BufferSpec, ControlEvent, FreePump, InboxSender, Item, Pipeline, RunningPipeline, Style,
+};
 use mbthread::Kernel;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::io::BufReader;
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How long protocol peers wait for a control reply before giving up.
+const CTRL_TIMEOUT: Duration = Duration::from_secs(20);
+/// The host's per-iteration poll granularity while streaming.
+const POLL: Duration = Duration::from_millis(50);
 
 /// Errors of the remote factory protocol.
 #[derive(Debug)]
 pub enum RemoteError {
-    /// A socket error.
-    Io(std::io::Error),
+    /// A transport error.
+    Transport(crate::TransportError),
     /// A malformed protocol message.
     Wire(String),
     /// The peer violated the protocol (wrong message at the wrong time).
@@ -41,7 +51,7 @@ pub enum RemoteError {
 impl fmt::Display for RemoteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RemoteError::Io(e) => write!(f, "i/o error: {e}"),
+            RemoteError::Transport(e) => write!(f, "transport error: {e}"),
             RemoteError::Wire(s) => write!(f, "malformed message: {s}"),
             RemoteError::Protocol(s) => write!(f, "protocol violation: {s}"),
             RemoteError::Refused(s) => write!(f, "host refused: {s}"),
@@ -51,17 +61,21 @@ impl fmt::Display for RemoteError {
 
 impl std::error::Error for RemoteError {}
 
-impl From<std::io::Error> for RemoteError {
-    fn from(e: std::io::Error) -> Self {
-        RemoteError::Io(e)
+impl From<crate::TransportError> for RemoteError {
+    fn from(e: crate::TransportError) -> Self {
+        RemoteError::Transport(e)
     }
 }
 
 /// Named factories for components a host can instantiate on behalf of
-/// remote clients.
+/// remote clients. Factories receive the requesting client's
+/// [`PeerIdentity`], so location-stamping components
+/// ([`Unmarshal::at_peer`](crate::Unmarshal::at_peer)) can record the
+/// link the flow really arrives over.
 #[derive(Default)]
 pub struct ComponentRegistry {
-    factories: HashMap<String, Box<dyn Fn() -> Style + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    factories: HashMap<String, Box<dyn Fn(&PeerIdentity) -> Style + Send + Sync>>,
 }
 
 impl ComponentRegistry {
@@ -71,19 +85,31 @@ impl ComponentRegistry {
         ComponentRegistry::default()
     }
 
-    /// Registers a factory under a name (replacing any previous one).
+    /// Registers a peer-independent factory under a name (replacing any
+    /// previous one).
     pub fn register(
         &mut self,
         name: impl Into<String>,
         factory: impl Fn() -> Style + Send + Sync + 'static,
     ) {
+        self.factories
+            .insert(name.into(), Box::new(move |_| factory()));
+    }
+
+    /// Registers a factory that receives the requesting client's peer
+    /// identity.
+    pub fn register_with_peer(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&PeerIdentity) -> Style + Send + Sync + 'static,
+    ) {
         self.factories.insert(name.into(), Box::new(factory));
     }
 
-    /// Instantiates a registered component.
+    /// Instantiates a registered component for the given client.
     #[must_use]
-    pub fn make(&self, name: &str) -> Option<Style> {
-        self.factories.get(name).map(|f| f())
+    pub fn make(&self, name: &str, peer: &PeerIdentity) -> Option<Style> {
+        self.factories.get(name).map(|f| f(peer))
     }
 
     /// The registered names, sorted.
@@ -114,18 +140,60 @@ pub struct SpecSummary {
     pub qos: Vec<(String, f64, f64)>,
 }
 
-fn send_ctrl(stream: &Mutex<TcpStream>, msg: &CtrlMsg) -> Result<(), RemoteError> {
+fn send_ctrl<L: Link>(link: &L, msg: &CtrlMsg) -> Result<(), RemoteError> {
     let bytes = wire::to_bytes(msg).map_err(|e| RemoteError::Wire(e.to_string()))?;
-    let mut s = stream.lock();
-    write_frame(&mut *s, FrameKind::Control, &bytes)?;
-    Ok(())
+    if link.send(Frame::Control(bytes)).accepted() {
+        Ok(())
+    } else {
+        Err(RemoteError::Transport(crate::TransportError::Closed))
+    }
+}
+
+/// Waits for the next control frame; events arriving during setup are
+/// skipped (they are not ours to handle yet), data frames are a protocol
+/// violation.
+fn recv_ctrl<L: Link>(link: &L, what: &str) -> Result<CtrlMsg, RemoteError> {
+    let deadline = std::time::Instant::now() + CTRL_TIMEOUT;
+    loop {
+        match link.recv(POLL) {
+            RecvOutcome::Frame(Frame::Control(payload)) => {
+                return wire::from_bytes(&payload).map_err(|e| RemoteError::Wire(e.to_string()));
+            }
+            RecvOutcome::Frame(Frame::Event(_)) | RecvOutcome::TimedOut => {}
+            RecvOutcome::Frame(other) => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected {what}, got a {} frame",
+                    frame_name(&other)
+                )));
+            }
+            RecvOutcome::Fin | RecvOutcome::Closed => {
+                return Err(RemoteError::Protocol("connection closed".into()));
+            }
+        }
+        // Checked on every iteration: a peer streaming events faster than
+        // the poll period must not be able to starve the deadline.
+        if std::time::Instant::now() >= deadline {
+            return Err(RemoteError::Protocol(format!(
+                "timed out waiting for {what}"
+            )));
+        }
+    }
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Data(_) => "data",
+        Frame::Event(_) => "event",
+        Frame::Control(_) => "control",
+        Frame::Fin => "fin",
+    }
 }
 
 // ---------------------------------------------------------------------
 // Host
 // ---------------------------------------------------------------------
 
-/// Serves remote-creation requests on a listening socket.
+/// Serves remote-creation requests on accepted links.
 pub struct RemoteHost {
     registry: ComponentRegistry,
     node_name: String,
@@ -133,7 +201,7 @@ pub struct RemoteHost {
 
 impl RemoteHost {
     /// Creates a host publishing the given registry, reporting
-    /// `node_name` as its location.
+    /// `node_name` as its fallback location.
     #[must_use]
     pub fn new(node_name: impl Into<String>, registry: ComponentRegistry) -> RemoteHost {
         RemoteHost {
@@ -142,19 +210,18 @@ impl RemoteHost {
         }
     }
 
-    /// Serves one client connection to completion (blocking): builds the
+    /// Serves one accepted link to completion (blocking): builds the
     /// requested pipeline on `kernel`, streams data into it, forwards
     /// events both ways, and returns when the client finishes.
     ///
     /// # Errors
     ///
-    /// Any [`RemoteError`] from the socket or protocol.
-    pub fn serve_connection(&self, stream: TcpStream, kernel: &Kernel) -> Result<(), RemoteError> {
-        let write_half = Arc::new(Mutex::new(stream.try_clone()?));
-        let mut reader = BufReader::new(stream);
+    /// Any [`RemoteError`] from the transport or protocol.
+    pub fn serve_link<L: Link>(&self, link: &L, kernel: &Kernel) -> Result<(), RemoteError> {
+        let peer = link.peer();
 
         // 1. Expect CreatePipeline.
-        let components = match read_ctrl(&mut reader)? {
+        let components = match recv_ctrl(link, "CreatePipeline")? {
             CtrlMsg::CreatePipeline { components } => components,
             other => {
                 return Err(RemoteError::Protocol(format!(
@@ -166,18 +233,19 @@ impl RemoteHost {
         // 2. Build: inbox >> pump >> components...
         let pipeline = Pipeline::new(kernel, "remote");
         let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(256));
+        pipeline.set_transport(inbox, peer.to_string());
         let pump = pipeline.add_pump("net-pump", FreePump::new());
         if let Err(e) = pipeline.connect(inbox, pump) {
-            return refuse(&write_half, &e.to_string());
+            return refuse(link, &e.to_string());
         }
         let mut prev = pump;
         for name in &components {
-            let Some(style) = self.registry.make(name) else {
-                return refuse(&write_half, &format!("unknown component '{name}'"));
+            let Some(style) = self.registry.make(name, &peer) else {
+                return refuse(link, &format!("unknown component '{name}'"));
             };
             let node = pipeline.add_style(name, style);
             if let Err(e) = pipeline.connect(prev, node) {
-                return refuse(&write_half, &e.to_string());
+                return refuse(link, &e.to_string());
             }
             prev = node;
         }
@@ -201,86 +269,112 @@ impl RemoteHost {
 
         let running = match pipeline.start() {
             Ok(r) => r,
-            Err(e) => return refuse(&write_half, &e.to_string()),
+            Err(e) => return refuse(link, &e.to_string()),
         };
         running
             .start_flow()
             .map_err(|e| RemoteError::Protocol(e.to_string()))?;
-        send_ctrl(&write_half, &CtrlMsg::Created { error: None })?;
+        send_ctrl(link, &CtrlMsg::Created { error: None })?;
 
-        // 3. Forward outbound events (host pipeline → client).
-        let sub = running.subscribe();
-        let ev_write = Arc::clone(&write_half);
+        // 3. Forward outbound events (host pipeline → client) from a
+        // side thread; the main loop keeps the link's receive side.
         let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let stop_flag2 = Arc::clone(&stop_flag);
-        let forwarder = std::thread::Builder::new()
-            .name("remote-event-fwd".into())
-            .spawn(move || {
-                while !stop_flag2.load(std::sync::atomic::Ordering::Relaxed) {
-                    if let Some(ev) = sub.recv_timeout(Duration::from_millis(50)) {
-                        if matches!(ev, ControlEvent::Start | ControlEvent::Stop) {
-                            continue;
-                        }
-                        if let Ok(bytes) = wire::to_bytes(&WireEvent::from(&ev)) {
-                            let mut s = ev_write.lock();
-                            if write_frame(&mut *s, FrameKind::Event, &bytes).is_err() {
-                                break;
-                            }
-                        }
-                    }
-                }
-            })
-            .expect("spawn event forwarder");
+        let forwarder = spawn_event_forwarder(link.clone(), &running, Arc::clone(&stop_flag));
+        // Our own subscription, opened before streaming so the pipeline's
+        // EOS broadcast cannot slip past between loop exit and teardown.
+        let eos_probe = running.subscribe();
 
         // 4. Main frame loop.
-        let result = loop {
-            match read_frame(&mut reader) {
-                Ok(Some((FrameKind::Data, payload))) => {
-                    let _ = inbox_sender.put(Item::cloneable(WireBytes(payload)));
-                }
-                Ok(Some((FrameKind::Event, payload))) => {
-                    match wire::from_bytes::<WireEvent>(&payload) {
-                        Ok(ev) => {
-                            let _ = running.send_event(ev.into());
-                        }
-                        Err(e) => break Err(RemoteError::Wire(e.to_string())),
-                    }
-                }
-                Ok(Some((FrameKind::Control, payload))) => {
-                    match wire::from_bytes::<CtrlMsg>(&payload) {
-                        Ok(CtrlMsg::QuerySpec) => match &spec {
-                            Ok(reply) => send_ctrl(&write_half, reply)?,
-                            Err(e) => {
-                                send_ctrl(
-                                    &write_half,
-                                    &CtrlMsg::Created {
-                                        error: Some(e.clone()),
-                                    },
-                                )?;
-                            }
-                        },
-                        Ok(other) => {
-                            break Err(RemoteError::Protocol(format!(
-                                "unexpected mid-stream message {other:?}"
-                            )))
-                        }
-                        Err(e) => break Err(RemoteError::Wire(e.to_string())),
-                    }
-                }
-                Ok(Some((FrameKind::Fin, _))) | Ok(None) => {
-                    inbox_sender.finish();
-                    break Ok(());
-                }
-                Err(e) => {
-                    inbox_sender.finish();
-                    break Err(RemoteError::Io(e));
+        let result = stream_frames(link, &inbox_sender, &running, &spec);
+        if result.is_ok() {
+            // The stream ended in order: wait (bounded) for the end of
+            // stream to drain through the pipeline and surface as the EOS
+            // broadcast, then one forwarder poll cycle so it reaches the
+            // client before the forwarder stops.
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while std::time::Instant::now() < deadline {
+                if let Some(ControlEvent::Eos) = eos_probe.recv_timeout(Duration::from_millis(50)) {
+                    break;
                 }
             }
-        };
+            std::thread::sleep(Duration::from_millis(100));
+        }
         stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = forwarder.join();
         result
     }
+}
+
+/// The host's streaming loop: data into the inbox, events into the
+/// running pipeline, spec queries answered from the build-time capture
+/// (the chain is immutable once created).
+fn stream_frames<L: Link>(
+    link: &L,
+    inbox_sender: &InboxSender,
+    running: &RunningPipeline,
+    spec: &Result<CtrlMsg, String>,
+) -> Result<(), RemoteError> {
+    loop {
+        match link.recv(POLL) {
+            RecvOutcome::Frame(Frame::Data(bytes)) => {
+                let _ = inbox_sender.put(Item::cloneable(bytes));
+            }
+            RecvOutcome::Frame(Frame::Event(ev)) => {
+                let _ = running.send_event(ev.into());
+            }
+            RecvOutcome::Frame(Frame::Control(payload)) => {
+                match wire::from_bytes::<CtrlMsg>(&payload) {
+                    Ok(CtrlMsg::QuerySpec) => match spec {
+                        Ok(reply) => send_ctrl(link, reply)?,
+                        Err(e) => send_ctrl(
+                            link,
+                            &CtrlMsg::Created {
+                                error: Some(e.clone()),
+                            },
+                        )?,
+                    },
+                    Ok(other) => {
+                        return Err(RemoteError::Protocol(format!(
+                            "unexpected mid-stream message {other:?}"
+                        )))
+                    }
+                    Err(e) => return Err(RemoteError::Wire(e.to_string())),
+                }
+            }
+            RecvOutcome::Frame(Frame::Fin) | RecvOutcome::Fin => {
+                inbox_sender.finish();
+                return Ok(());
+            }
+            RecvOutcome::Closed => {
+                inbox_sender.finish();
+                return Err(RemoteError::Protocol("connection closed".into()));
+            }
+            RecvOutcome::TimedOut => {}
+        }
+    }
+}
+
+fn spawn_event_forwarder<L: Link>(
+    link: L,
+    running: &RunningPipeline,
+    stop_flag: Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let sub = running.subscribe();
+    std::thread::Builder::new()
+        .name("remote-event-fwd".into())
+        .spawn(move || {
+            while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Some(ev) = sub.recv_timeout(Duration::from_millis(50)) {
+                    if matches!(ev, ControlEvent::Start | ControlEvent::Stop) {
+                        continue;
+                    }
+                    if !link.send(Frame::Event(WireEvent::from(&ev))).accepted() {
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn event forwarder")
 }
 
 impl fmt::Debug for RemoteHost {
@@ -292,9 +386,9 @@ impl fmt::Debug for RemoteHost {
     }
 }
 
-fn refuse(write_half: &Mutex<TcpStream>, error: &str) -> Result<(), RemoteError> {
+fn refuse<L: Link>(link: &L, error: &str) -> Result<(), RemoteError> {
     send_ctrl(
-        write_half,
+        link,
         &CtrlMsg::Created {
             error: Some(error.to_owned()),
         },
@@ -302,48 +396,47 @@ fn refuse(write_half: &Mutex<TcpStream>, error: &str) -> Result<(), RemoteError>
     Err(RemoteError::Refused(error.to_owned()))
 }
 
-fn read_ctrl(reader: &mut BufReader<TcpStream>) -> Result<CtrlMsg, RemoteError> {
-    loop {
-        match read_frame(reader)? {
-            Some((FrameKind::Control, payload)) => {
-                return wire::from_bytes(&payload).map_err(|e| RemoteError::Wire(e.to_string()));
-            }
-            Some((FrameKind::Event, _)) => { /* not expected during setup; skip */ }
-            Some((other, _)) => {
-                return Err(RemoteError::Protocol(format!(
-                    "expected a control frame, got {other:?}"
-                )))
-            }
-            None => return Err(RemoteError::Protocol("connection closed".into())),
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------
 
-/// The client side of a remote-creation session.
-pub struct RemoteClient {
-    /// Read half; consumed by [`RemoteClient::spawn_event_reader`].
-    reader: Option<BufReader<TcpStream>>,
-    write: Arc<Mutex<TcpStream>>,
-    data_stream: TcpStream,
+/// The client side of a remote-creation session, generic over the
+/// transport.
+pub struct RemoteClient<L: Link> {
+    link: L,
+    events_bound: bool,
 }
 
-impl RemoteClient {
-    /// Connects to a [`RemoteHost`].
+impl<L: Link> RemoteClient<L> {
+    /// Connects to a [`RemoteHost`] through the given transport.
     ///
     /// # Errors
     ///
-    /// Socket errors.
-    pub fn connect(addr: std::net::SocketAddr) -> Result<RemoteClient, RemoteError> {
-        let stream = TcpStream::connect(addr)?;
+    /// Transport errors.
+    pub fn connect<T: Transport<Link = L>>(
+        transport: &T,
+        addr: &str,
+    ) -> Result<RemoteClient<L>, RemoteError> {
+        let link = transport.connect(addr)?;
         Ok(RemoteClient {
-            reader: Some(BufReader::new(stream.try_clone()?)),
-            write: Arc::new(Mutex::new(stream.try_clone()?)),
-            data_stream: stream,
+            link,
+            events_bound: false,
         })
+    }
+
+    /// Wraps an already-established link (e.g. an accepted one).
+    #[must_use]
+    pub fn over(link: L) -> RemoteClient<L> {
+        RemoteClient {
+            link,
+            events_bound: false,
+        }
+    }
+
+    /// Identity of the host end of the link.
+    #[must_use]
+    pub fn peer(&self) -> PeerIdentity {
+        self.link.peer()
     }
 
     /// Asks the host to instantiate the named component chain behind its
@@ -354,17 +447,14 @@ impl RemoteClient {
     /// [`RemoteError::Refused`] with the host's reason, or transport
     /// errors.
     pub fn create_pipeline(&mut self, components: &[&str]) -> Result<(), RemoteError> {
+        self.ensure_setup_phase()?;
         send_ctrl(
-            &self.write,
+            &self.link,
             &CtrlMsg::CreatePipeline {
                 components: components.iter().map(|s| (*s).to_owned()).collect(),
             },
         )?;
-        let reader = self
-            .reader
-            .as_mut()
-            .ok_or_else(|| RemoteError::Protocol("setup phase is over".into()))?;
-        match read_ctrl_client(reader)? {
+        match recv_ctrl(&self.link, "Created")? {
             CtrlMsg::Created { error: None } => Ok(()),
             CtrlMsg::Created { error: Some(e) } => Err(RemoteError::Refused(e)),
             other => Err(RemoteError::Protocol(format!(
@@ -381,12 +471,9 @@ impl RemoteClient {
     ///
     /// Transport or protocol errors.
     pub fn query_spec(&mut self) -> Result<SpecSummary, RemoteError> {
-        send_ctrl(&self.write, &CtrlMsg::QuerySpec)?;
-        let reader = self
-            .reader
-            .as_mut()
-            .ok_or_else(|| RemoteError::Protocol("setup phase is over".into()))?;
-        match read_ctrl_client(reader)? {
+        self.ensure_setup_phase()?;
+        send_ctrl(&self.link, &CtrlMsg::QuerySpec)?;
+        match recv_ctrl(&self.link, "SpecReply")? {
             CtrlMsg::SpecReply {
                 item,
                 location,
@@ -403,70 +490,53 @@ impl RemoteClient {
         }
     }
 
-    /// The producer-side netpipe end: add it as the local pipeline's sink.
-    /// Ends the setup phase for writes (all further writes go through the
-    /// send end's writer thread).
-    ///
-    /// # Errors
-    ///
-    /// Socket errors while cloning the stream.
-    pub fn send_end(&self, name: impl Into<String>) -> Result<crate::TcpSendEnd, RemoteError> {
-        Ok(crate::TcpSendEnd::new(name, self.data_stream.try_clone()?))
+    /// The producer-side netpipe end: add it as the local pipeline's
+    /// sink (or use
+    /// [`add_net_sink`](crate::PipelineTransportExt::add_net_sink) with
+    /// [`RemoteClient::link`]).
+    #[must_use]
+    pub fn send_end(&self, name: impl Into<String>) -> crate::NetSendEnd<L> {
+        crate::NetSendEnd::new(name, self.link.clone())
+    }
+
+    /// The underlying link (for `add_net_sink` and stats probes).
+    #[must_use]
+    pub fn link(&self) -> &L {
+        &self.link
     }
 
     /// Consumes the read half: events from the host are delivered to
-    /// `on_event` on a reader thread (e.g. forwarded into the local
-    /// pipeline with `RunningPipeline::send_event`).
+    /// `on_event` on the transport's receive path (e.g. forwarded into
+    /// the local pipeline with `RunningPipeline::send_event`). Ends the
+    /// setup phase; call after `create_pipeline`/`query_spec`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called twice.
+    /// [`TransportError::ReceiverTaken`](crate::TransportError) if called
+    /// twice.
     pub fn spawn_event_reader(
         &mut self,
         on_event: impl Fn(ControlEvent) + Send + 'static,
-    ) -> std::thread::JoinHandle<()> {
-        let mut reader = self
-            .reader
-            .take()
-            .expect("spawn_event_reader may only be called once");
-        std::thread::Builder::new()
-            .name("remote-event-reader".into())
-            .spawn(move || loop {
-                match read_frame(&mut reader) {
-                    Ok(Some((FrameKind::Event, payload))) => {
-                        if let Ok(ev) = wire::from_bytes::<WireEvent>(&payload) {
-                            on_event(ev.into());
-                        }
-                    }
-                    Ok(Some(_)) => {}
-                    Ok(None) | Err(_) => return,
-                }
-            })
-            .expect("spawn event reader")
+    ) -> Result<(), RemoteError> {
+        self.ensure_setup_phase()?;
+        self.events_bound = true;
+        self.link.bind_receiver(None, on_event)?;
+        Ok(())
     }
-}
 
-impl fmt::Debug for RemoteClient {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RemoteClient").finish()
-    }
-}
-
-fn read_ctrl_client(reader: &mut BufReader<TcpStream>) -> Result<CtrlMsg, RemoteError> {
-    loop {
-        match read_frame(reader)? {
-            Some((FrameKind::Control, payload)) => {
-                return wire::from_bytes(&payload).map_err(|e| RemoteError::Wire(e.to_string()));
-            }
-            // Events may already be flowing; they are not ours to handle
-            // during setup.
-            Some((FrameKind::Event, _)) => {}
-            Some((other, _)) => {
-                return Err(RemoteError::Protocol(format!(
-                    "expected a control frame, got {other:?}"
-                )))
-            }
-            None => return Err(RemoteError::Protocol("connection closed".into())),
+    fn ensure_setup_phase(&self) -> Result<(), RemoteError> {
+        if self.events_bound {
+            Err(RemoteError::Protocol("setup phase is over".into()))
+        } else {
+            Ok(())
         }
+    }
+}
+
+impl<L: Link> fmt::Debug for RemoteClient<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteClient")
+            .field("peer", &self.link.peer().to_string())
+            .finish()
     }
 }

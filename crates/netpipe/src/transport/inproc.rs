@@ -1,0 +1,512 @@
+//! The in-process transport: a lock-free bounded ring per direction.
+//!
+//! `inproc` links connect pipelines running in the same process (e.g.
+//! two kernels in one test, or co-located producer/consumer nodes)
+//! without sockets or simulation. The data lane is a lock-free Vyukov
+//! MPMC ring — full-queue sends are *dropped* (and counted), making the
+//! backend behave like a bounded lossy network rather than an infinite
+//! pipe, so backpressure experiments behave the same as on `sim`. The
+//! control lane is a small mutex-guarded deque (rare traffic, must never
+//! be dropped).
+
+use super::rendezvous::{self, Registry};
+use super::{
+    Acceptor, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus, SharedStats,
+    Transport, TransportError,
+};
+use crate::marshal::WireBytes;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Lock-free bounded MPMC ring (Vyukov's array queue)
+// ---------------------------------------------------------------------
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer queue; `push` never blocks
+/// and fails when full, `pop` never blocks and fails when empty.
+pub(crate) struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue: AtomicUsize,
+    dequeue: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            mask: cap - 1,
+            enqueue: AtomicUsize::new(0),
+            dequeue: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    match self.enqueue.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // The slot is ours: write, then publish.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return Err(value), // full
+                _ => pos = self.enqueue.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos.wrapping_add(1)) as isize {
+                0 => {
+                    match self.dequeue.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(
+                                pos.wrapping_add(self.mask).wrapping_add(1),
+                                Ordering::Release,
+                            );
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directions and links
+// ---------------------------------------------------------------------
+
+/// One direction of an inproc connection.
+struct Direction {
+    data: Ring<WireBytes>,
+    ctrl: Mutex<VecDeque<Frame>>,
+    /// Parked receiver to unpark on arrival (one receiver at a time).
+    waiter: Mutex<Option<Thread>>,
+    /// Sender posted a `Fin`.
+    fin: AtomicBool,
+    /// Sender handle dropped without `Fin`.
+    closed: AtomicBool,
+    stats: Arc<SharedStats>,
+    /// High-water mark: `Saturated` above this many queued data frames.
+    high_water: usize,
+}
+
+impl Direction {
+    fn new(capacity: usize) -> Direction {
+        Direction {
+            data: Ring::new(capacity),
+            ctrl: Mutex::new(VecDeque::new()),
+            waiter: Mutex::new(None),
+            fin: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            stats: Arc::new(SharedStats::default()),
+            high_water: capacity.next_power_of_two().max(2) * 3 / 4,
+        }
+    }
+
+    fn wake_receiver(&self) {
+        if let Some(t) = self.waiter.lock().take() {
+            t.unpark();
+        }
+    }
+
+    fn queued_data(&self) -> usize {
+        let enq = self.data.enqueue.load(Ordering::Relaxed);
+        let deq = self.data.dequeue.load(Ordering::Relaxed);
+        enq.wrapping_sub(deq)
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        if self.fin.load(Ordering::Acquire) || self.closed.load(Ordering::Acquire) {
+            return SendStatus::Closed;
+        }
+        let status = match frame {
+            Frame::Data(bytes) => {
+                let len = bytes.len() as u64;
+                match self.data.push(bytes) {
+                    Ok(()) => {
+                        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_sent.fetch_add(len, Ordering::Relaxed);
+                        if self.queued_data() >= self.high_water {
+                            SendStatus::Saturated
+                        } else {
+                            SendStatus::Sent
+                        }
+                    }
+                    Err(_) => {
+                        // `sent` counts every frame handed to the link,
+                        // dropped or not (matching the sim backend).
+                        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        SendStatus::Dropped
+                    }
+                }
+            }
+            Frame::Fin => {
+                self.ctrl.lock().push_back(Frame::Fin);
+                self.fin.store(true, Ordering::Release);
+                SendStatus::Sent
+            }
+            ctrl_frame => {
+                self.ctrl.lock().push_back(ctrl_frame);
+                SendStatus::Sent
+            }
+        };
+        self.wake_receiver();
+        status
+    }
+
+    /// Pops the next frame. Events and control messages overtake queued
+    /// data; `Fin` only ends the stream once the data lane is drained.
+    fn try_recv(&self) -> Option<RecvOutcome> {
+        {
+            let mut ctrl = self.ctrl.lock();
+            if let Some(pos) = ctrl.iter().position(|f| !matches!(f, Frame::Fin)) {
+                let frame = ctrl.remove(pos).expect("indexed frame");
+                return Some(RecvOutcome::Frame(frame));
+            }
+        }
+        if let Some(bytes) = self.data.pop() {
+            self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+            return Some(RecvOutcome::Frame(Frame::Data(bytes)));
+        }
+        {
+            // Re-inspect under the lock: a non-Fin control frame may have
+            // been pushed since the scan above, and popping it as a `Fin`
+            // would both lose it and falsely end the stream.
+            let mut ctrl = self.ctrl.lock();
+            match ctrl.front() {
+                Some(Frame::Fin) => {
+                    // Data published before the Fin is visible now that we
+                    // hold the lock the sender released after pushing it.
+                    if let Some(bytes) = self.data.pop() {
+                        drop(ctrl);
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        return Some(RecvOutcome::Frame(Frame::Data(bytes)));
+                    }
+                    ctrl.pop_front();
+                    return Some(RecvOutcome::Fin);
+                }
+                Some(_) => {
+                    let frame = ctrl.pop_front().expect("non-empty front");
+                    return Some(RecvOutcome::Frame(frame));
+                }
+                None => {}
+            }
+        }
+        if self.fin.load(Ordering::Acquire) {
+            // The Fin frame was already consumed on an earlier call.
+            return Some(RecvOutcome::Fin);
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return Some(RecvOutcome::Closed);
+        }
+        None
+    }
+
+    fn recv(&self, timeout: Duration) -> RecvOutcome {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(out) = self.try_recv() {
+                return out;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvOutcome::TimedOut;
+            }
+            *self.waiter.lock() = Some(std::thread::current());
+            // Re-check after registering, then park for the remainder.
+            if let Some(out) = self.try_recv() {
+                self.waiter.lock().take();
+                return out;
+            }
+            std::thread::park_timeout(deadline - now);
+            self.waiter.lock().take();
+        }
+    }
+}
+
+struct LinkShared {
+    peer: PeerIdentity,
+    /// Outbound direction (this end sends here).
+    out: Arc<Direction>,
+    /// Inbound direction (this end receives here).
+    inn: Arc<Direction>,
+    /// A receiver binding exists (at most one per link).
+    rx_bound: AtomicBool,
+}
+
+impl Drop for LinkShared {
+    fn drop(&mut self) {
+        // A vanished end closes its outbound direction so the peer's
+        // receiver does not wait forever.
+        self.out.closed.store(true, Ordering::Release);
+        self.out.wake_receiver();
+    }
+}
+
+/// One end of an in-process connection (cheap to clone).
+#[derive(Clone)]
+pub struct InProcLink {
+    shared: Arc<LinkShared>,
+}
+
+impl Link for InProcLink {
+    fn peer(&self) -> PeerIdentity {
+        self.shared.peer.clone()
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        self.shared.out.send(frame)
+    }
+
+    fn recv(&self, timeout: Duration) -> RecvOutcome {
+        self.shared.inn.recv(timeout)
+    }
+
+    fn bind_receiver(
+        &self,
+        inbox: Option<infopipes::InboxSender>,
+        on_event: impl Fn(infopipes::ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        if self.shared.rx_bound.swap(true, Ordering::AcqRel) {
+            return Err(TransportError::ReceiverTaken);
+        }
+        // Refusals are credited to the inbound direction's stats, which
+        // the peer's `stats()` reads as its outbound counters.
+        let rx_stats = Arc::clone(&self.shared.inn.stats);
+        super::drain_receiver(self.clone(), inbox, on_event, rx_stats, |link| {
+            Arc::strong_count(&link.shared) == 1
+        })
+    }
+
+    fn stats(&self) -> LinkStats {
+        // The outbound direction's counters: the peer's receive side
+        // credits `delivered`/`refused` into the same shared direction,
+        // so a producer-side probe sees what its traffic achieved.
+        self.shared.out.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for InProcLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcLink")
+            .field("peer", &self.shared.peer.to_string())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport and acceptor
+// ---------------------------------------------------------------------
+
+/// The in-process transport. Clones share one rendezvous namespace, so
+/// the connecting side uses a clone of the listening side's value.
+#[derive(Clone)]
+pub struct InProcTransport {
+    registry: Registry<InProcLink>,
+    capacity: usize,
+    conn_counter: Arc<AtomicUsize>,
+}
+
+impl InProcTransport {
+    /// A transport with the default per-direction data capacity (1024
+    /// frames).
+    #[must_use]
+    pub fn new() -> InProcTransport {
+        InProcTransport::with_capacity(1024)
+    }
+
+    /// A transport whose data lane rings hold `capacity` frames (rounded
+    /// up to a power of two) before dropping.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> InProcTransport {
+        InProcTransport {
+            registry: rendezvous::new_registry(),
+            capacity,
+            conn_counter: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+impl Default for InProcTransport {
+    fn default() -> Self {
+        InProcTransport::new()
+    }
+}
+
+impl Transport for InProcTransport {
+    type Link = InProcLink;
+    type Acceptor = InProcAcceptor;
+
+    fn scheme(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn listen(&self, addr: &str) -> Result<InProcAcceptor, TransportError> {
+        Ok(InProcAcceptor {
+            inner: rendezvous::listen(&self.registry, addr)?,
+        })
+    }
+
+    fn connect(&self, addr: &str) -> Result<InProcLink, TransportError> {
+        let endpoint = rendezvous::claim(&self.registry, addr)?;
+        let n = self.conn_counter.fetch_add(1, Ordering::Relaxed);
+        let a_to_b = Arc::new(Direction::new(self.capacity));
+        let b_to_a = Arc::new(Direction::new(self.capacity));
+        let client = InProcLink {
+            shared: Arc::new(LinkShared {
+                peer: PeerIdentity::new("inproc", addr),
+                out: Arc::clone(&a_to_b),
+                inn: Arc::clone(&b_to_a),
+                rx_bound: AtomicBool::new(false),
+            }),
+        };
+        let server = InProcLink {
+            shared: Arc::new(LinkShared {
+                peer: PeerIdentity::new("inproc", format!("{addr}#client-{n}")),
+                out: b_to_a,
+                inn: a_to_b,
+                rx_bound: AtomicBool::new(false),
+            }),
+        };
+        endpoint.offer(server);
+        Ok(client)
+    }
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// A bound in-process listening endpoint.
+pub struct InProcAcceptor {
+    inner: rendezvous::Bound<InProcLink>,
+}
+
+impl Acceptor for InProcAcceptor {
+    type Link = InProcLink;
+
+    fn local_addr(&self) -> String {
+        self.inner.local_addr()
+    }
+
+    fn accept(&self) -> Result<InProcLink, TransportError> {
+        self.inner.accept()
+    }
+}
+
+impl std::fmt::Debug for InProcAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcAcceptor")
+            .field("addr", &self.inner.local_addr())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let ring: Ring<WireBytes> = Ring::new(4);
+        for i in 0..4u8 {
+            ring.push(WireBytes(vec![i])).unwrap();
+        }
+        assert!(ring.push(WireBytes(vec![9])).is_err(), "full ring refuses");
+        for i in 0..4u8 {
+            assert_eq!(ring.pop().unwrap().0, vec![i]);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn ring_survives_concurrent_producers() {
+        let ring: Arc<Ring<WireBytes>> = Arc::new(Ring::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u8 {
+                    while ring.push(WireBytes(vec![t, i])).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut seen = 0;
+        while seen < 800 {
+            if ring.pop().is_some() {
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(ring.pop().is_none());
+    }
+}

@@ -1,0 +1,624 @@
+//! Pluggable netpipe transports (§2.4).
+//!
+//! "Different transport protocols can be easily integrated into the
+//! Infopipe framework as netpipes." This module makes that promise
+//! concrete: one [`Transport`] trait with interchangeable backends, so a
+//! remote pipeline is assembled identically whether it crosses a TCP
+//! socket, the deterministic network simulator, or an in-process channel.
+//!
+//! # The model
+//!
+//! A [`Transport`] is a connector factory: [`Transport::listen`] binds an
+//! [`Acceptor`], [`Transport::connect`] opens a [`Link`] to it. A link is
+//! one bidirectional connection carrying [`Frame`]s on two lanes:
+//!
+//! * the **data lane** carries [`Frame::Data`] (marshalled items). It is
+//!   bounded: [`Link::send`] reports backpressure through [`SendStatus`]
+//!   — `Saturated` when the link is congested, `Dropped` when a lossy
+//!   backend sheds the frame (the "arbitrary dropping in the network" of
+//!   Fig. 1).
+//! * the **control lane** carries [`Frame::Event`] (out-of-band control
+//!   events), [`Frame::Control`] (factory-protocol messages), and
+//!   [`Frame::Fin`]. It is unbounded and has priority: control frames
+//!   overtake queued data, matching the paper's high-priority control
+//!   events (§2.2).
+//!
+//! The receive side is either polled ([`Link::recv`], used by the remote
+//! factory protocol) or bound to a pipeline ([`Link::bind_receiver`]):
+//! data frames feed an [`InboxSender`], events invoke a callback, and
+//! `Fin` finishes the inbox. [`NetSendEnd`] is the producer-side pipeline
+//! stage — one generic implementation shared by every backend.
+//!
+//! Each link end keeps [`LinkStats`] ([`Link::stats`]) counting frames
+//! sent, delivered, dropped and refused.
+//!
+//! # Built-in backends
+//!
+//! | backend | scheme | loss | timing |
+//! |---------|--------|------|--------|
+//! | [`InProcTransport`](super::InProcTransport) | `inproc` | drops on full ring | immediate |
+//! | [`SimTransport`](super::SimTransport) | `sim` | drops on queue overflow | modelled latency/bandwidth/jitter, deterministic under virtual time |
+//! | [`TcpTransport`](super::TcpTransport) | `tcp` | reliable (saturates, never drops) | real sockets |
+//!
+//! # Writing your own backend
+//!
+//! A new transport (UDP, QUIC, shared memory, …) is a single file:
+//!
+//! 1. Define the transport value (configuration + any rendezvous state)
+//!    and implement [`Transport`] — `scheme`, `listen`, `connect`.
+//! 2. Define the link type: a cheaply cloneable handle (backends wrap an
+//!    `Arc`) implementing [`Link`]. You must provide [`Link::peer`]
+//!    (drives the Typespec *location* rewrite in
+//!    [`Unmarshal`](crate::Unmarshal)), [`Link::send`] (map the frame to
+//!    your wire; report [`SendStatus`] honestly — backpressure is the
+//!    feedback loops' signal), [`Link::recv`], and [`Link::stats`].
+//! 3. Keep the two-lane contract: control frames must not wait behind
+//!    data frames on the *sending* side. On a single ordered byte stream
+//!    (like TCP) it is enough to let control frames jump the local send
+//!    queue.
+//! 4. Implement `bind_receiver`: enforce the single-binding rule (a
+//!    swapped atomic flag), then either drain `recv` on an OS thread
+//!    (what the inproc and TCP backends do) or deliver from your own
+//!    event loop. Only the simulator delivers in-kernel, to stay
+//!    deterministic under virtual time.
+//! 5. Run the conformance suite (`crates/netpipe/tests/
+//!    transport_conformance.rs`) against the new backend: ordering,
+//!    backpressure, control-event priority, and clean shutdown are the
+//!    same four properties for everyone.
+//!
+//! For stream-oriented backends, [`crate::framing`] provides the
+//! `Frame` ⇄ byte-stream codec used by the TCP backend.
+
+mod inproc;
+mod sim;
+mod tcp;
+
+/// Shared in-process rendezvous plumbing for backends whose "network"
+/// lives inside the process (sim, inproc): a named registry of
+/// endpoints, each with a pending-connection queue the acceptor blocks
+/// on. Generic over the link type so every future in-process backend
+/// reuses it.
+pub(crate) mod rendezvous {
+    use super::TransportError;
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::{HashMap, VecDeque};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    pub(crate) struct Endpoint<L> {
+        pending: Mutex<VecDeque<L>>,
+        cv: Condvar,
+        closed: AtomicBool,
+    }
+
+    impl<L> Endpoint<L> {
+        /// Hands an accepted-side link to the listener.
+        pub(crate) fn offer(&self, link: L) {
+            self.pending.lock().push_back(link);
+            self.cv.notify_one();
+        }
+    }
+
+    pub(crate) type Registry<L> = Arc<Mutex<HashMap<String, Arc<Endpoint<L>>>>>;
+
+    pub(crate) fn new_registry<L>() -> Registry<L> {
+        Arc::new(Mutex::new(HashMap::new()))
+    }
+
+    /// Binds `addr`; the returned handle unbinds on drop.
+    pub(crate) fn listen<L>(
+        registry: &Registry<L>,
+        addr: &str,
+    ) -> Result<Bound<L>, TransportError> {
+        let mut reg = registry.lock();
+        if reg.contains_key(addr) {
+            return Err(TransportError::AddrInUse(addr.to_owned()));
+        }
+        let endpoint = Arc::new(Endpoint {
+            pending: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        reg.insert(addr.to_owned(), Arc::clone(&endpoint));
+        Ok(Bound {
+            addr: addr.to_owned(),
+            endpoint,
+            registry: Arc::clone(registry),
+        })
+    }
+
+    /// Looks up a live listener for a connect attempt.
+    pub(crate) fn claim<L>(
+        registry: &Registry<L>,
+        addr: &str,
+    ) -> Result<Arc<Endpoint<L>>, TransportError> {
+        let endpoint = registry
+            .lock()
+            .get(addr)
+            .cloned()
+            .ok_or_else(|| TransportError::NotFound(addr.to_owned()))?;
+        if endpoint.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        Ok(endpoint)
+    }
+
+    /// A bound endpoint: the acceptor half of the rendezvous.
+    pub(crate) struct Bound<L> {
+        addr: String,
+        endpoint: Arc<Endpoint<L>>,
+        registry: Registry<L>,
+    }
+
+    impl<L> Bound<L> {
+        pub(crate) fn local_addr(&self) -> String {
+            self.addr.clone()
+        }
+
+        pub(crate) fn accept(&self) -> Result<L, TransportError> {
+            let mut pending = self.endpoint.pending.lock();
+            loop {
+                if let Some(link) = pending.pop_front() {
+                    return Ok(link);
+                }
+                if self.endpoint.closed.load(Ordering::Acquire) {
+                    return Err(TransportError::Closed);
+                }
+                self.endpoint.cv.wait(&mut pending);
+            }
+        }
+    }
+
+    impl<L> Drop for Bound<L> {
+        fn drop(&mut self) {
+            self.endpoint.closed.store(true, Ordering::Release);
+            self.endpoint.cv.notify_all();
+            self.registry.lock().remove(&self.addr);
+        }
+    }
+}
+
+pub use inproc::{InProcAcceptor, InProcLink, InProcTransport};
+pub use sim::{SimAcceptor, SimConfig, SimLink, SimTransport};
+pub use tcp::{TcpAcceptor, TcpLink, TcpTransport};
+
+use crate::marshal::WireBytes;
+use crate::proto::WireEvent;
+use infopipes::{
+    Consumer, ControlEvent, EventCtx, InboxSender, Item, ItemType, Node, Pipeline, Stage, StageCtx,
+};
+use mbthread::{Message, ThreadId};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use typespec::Typespec;
+
+// ---------------------------------------------------------------------
+// Vocabulary types
+// ---------------------------------------------------------------------
+
+/// One message travelling over a netpipe transport.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A marshalled data item (data lane).
+    Data(WireBytes),
+    /// An out-of-band control event (control lane, priority).
+    Event(WireEvent),
+    /// A factory/query protocol message (control lane, priority).
+    Control(Vec<u8>),
+    /// Orderly end of stream (control lane).
+    Fin,
+}
+
+/// The backpressure signal of a frame-level send.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SendStatus {
+    /// Accepted for transmission.
+    Sent,
+    /// Accepted, but the link is congested — senders should slow down or
+    /// shed load (this is what feedback loops react to).
+    Saturated,
+    /// Refused: a lossy link's bounded queue was full; the frame was
+    /// discarded and counted in [`LinkStats::dropped`].
+    Dropped,
+    /// The link is closed (peer gone or `Fin` already sent).
+    Closed,
+}
+
+impl SendStatus {
+    /// Whether the frame was accepted (sent or saturated).
+    #[must_use]
+    pub fn accepted(self) -> bool {
+        matches!(self, SendStatus::Sent | SendStatus::Saturated)
+    }
+}
+
+/// The outcome of a [`Link::recv`] poll.
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A frame arrived.
+    Frame(Frame),
+    /// The peer ended the stream in order (`Fin` received).
+    Fin,
+    /// The link died without a `Fin` (peer dropped, I/O error).
+    Closed,
+    /// Nothing arrived within the timeout.
+    TimedOut,
+}
+
+/// Identity of the remote end of a link, e.g. `tcp://127.0.0.1:41234`.
+///
+/// This is what the marshalling filters stamp into the Typespec
+/// *location* property when a flow crosses the netpipe
+/// ([`Unmarshal::at_peer`](crate::Unmarshal::at_peer)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerIdentity {
+    scheme: &'static str,
+    addr: String,
+}
+
+impl PeerIdentity {
+    /// Builds an identity from a transport scheme and address.
+    #[must_use]
+    pub fn new(scheme: &'static str, addr: impl Into<String>) -> PeerIdentity {
+        PeerIdentity {
+            scheme,
+            addr: addr.into(),
+        }
+    }
+
+    /// The transport scheme (`tcp`, `sim`, `inproc`, …).
+    #[must_use]
+    pub fn scheme(&self) -> &'static str {
+        self.scheme
+    }
+
+    /// The transport-specific address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl fmt::Display for PeerIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.addr)
+    }
+}
+
+/// Counters kept by each end of a [`Link`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Data frames handed to the link by this end.
+    pub sent: u64,
+    /// Data frames this end received.
+    pub delivered: u64,
+    /// Data frames dropped by the link (queue overflow / lossy backend).
+    pub dropped: u64,
+    /// Data frames refused by a full consumer inbox on this end.
+    pub refused: u64,
+    /// Payload bytes accepted for sending.
+    pub bytes_sent: u64,
+}
+
+impl LinkStats {
+    /// The delivered fraction of sent frames, as observable by a single
+    /// end (in-process backends share counters between both ends).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Lock-free shared counters backing [`LinkStats`].
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub(crate) sent: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+}
+
+impl SharedStats {
+    pub(crate) fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Errors raised by transport operations.
+#[derive(Debug)]
+pub enum TransportError {
+    /// No listener at the address.
+    NotFound(String),
+    /// The address is already bound.
+    AddrInUse(String),
+    /// The link or listener is closed.
+    Closed,
+    /// The receive side was already consumed by `bind_receiver`.
+    ReceiverTaken,
+    /// An operation timed out.
+    Timeout,
+    /// A socket error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NotFound(a) => write!(f, "no listener at '{a}'"),
+            TransportError::AddrInUse(a) => write!(f, "address '{a}' already bound"),
+            TransportError::Closed => write!(f, "link closed"),
+            TransportError::ReceiverTaken => write!(f, "receive side already bound"),
+            TransportError::Timeout => write!(f, "operation timed out"),
+            TransportError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A kernel-thread message poster, for [`Link::send_via`]: pipeline
+/// stages post through their kernel context so in-kernel backends (the
+/// simulator) stay deterministic under virtual time.
+pub type KernelPost<'a> = &'a mut dyn FnMut(ThreadId, Message) -> bool;
+
+// ---------------------------------------------------------------------
+// The traits
+// ---------------------------------------------------------------------
+
+/// A netpipe transport: a factory for listeners and connections.
+///
+/// Transport values are cheap to clone; in-process backends (sim,
+/// inproc) share their rendezvous registry between clones, so both ends
+/// of a test can connect through the same value.
+pub trait Transport: Clone + Send + 'static {
+    /// The connection type.
+    type Link: Link;
+    /// The listener type.
+    type Acceptor: Acceptor<Link = Self::Link>;
+
+    /// The identity scheme (`tcp`, `sim`, `inproc`, …).
+    fn scheme(&self) -> &'static str;
+
+    /// Binds a listening endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::AddrInUse`] or backend-specific I/O errors.
+    fn listen(&self, addr: &str) -> Result<Self::Acceptor, TransportError>;
+
+    /// Opens a link to a listening endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NotFound`] or backend-specific I/O errors.
+    fn connect(&self, addr: &str) -> Result<Self::Link, TransportError>;
+}
+
+/// A bound listening endpoint.
+pub trait Acceptor: Send {
+    /// The connection type produced.
+    type Link: Link;
+
+    /// The concrete bound address (resolves ephemeral/auto addresses).
+    fn local_addr(&self) -> String;
+
+    /// Accepts the next incoming link, blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] when the transport shut down.
+    fn accept(&self) -> Result<Self::Link, TransportError>;
+}
+
+/// One end of an established netpipe connection.
+///
+/// Links are cheaply cloneable handles; clones share the underlying
+/// connection (one clone feeds a [`NetSendEnd`] stage while another is
+/// probed for [`LinkStats`]).
+pub trait Link: Clone + Send + 'static {
+    /// Identity of the remote end.
+    fn peer(&self) -> PeerIdentity;
+
+    /// Sends one frame from outside the kernel, reporting backpressure.
+    fn send(&self, frame: Frame) -> SendStatus;
+
+    /// Sends one frame from inside a kernel thread (pipeline stages).
+    ///
+    /// Defaults to [`Link::send`]; in-kernel backends override it to post
+    /// through the caller's kernel context, which keeps virtual-time
+    /// kernels deterministic.
+    fn send_via(&self, post: KernelPost<'_>, frame: Frame) -> SendStatus {
+        let _ = post;
+        self.send(frame)
+    }
+
+    /// Receives the next frame, waiting at most `timeout`. Control-lane
+    /// frames have priority over queued data frames.
+    fn recv(&self, timeout: Duration) -> RecvOutcome;
+
+    /// Permanently binds the receive side to a pipeline: data frames feed
+    /// `inbox` (refusals are counted in [`LinkStats::refused`], matching
+    /// a full network buffer), events invoke `on_event`, and `Fin`
+    /// finishes the inbox. At most one binding per link — "network
+    /// packets … are mapped to messages by the platform" (§4).
+    ///
+    /// Thread-backed backends delegate to the crate's shared drain loop;
+    /// the simulator instead delivers from its kernel thread to stay
+    /// deterministic under virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ReceiverTaken`] if already bound.
+    fn bind_receiver(
+        &self,
+        inbox: Option<InboxSender>,
+        on_event: impl Fn(ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError>;
+
+    /// This end's link statistics.
+    fn stats(&self) -> LinkStats;
+}
+
+/// The shared receive pump for thread-backed backends: drains
+/// [`Link::recv`] on an OS thread, feeding data to the inbox (counting
+/// refusals into `rx_stats`), events to the callback, and finishing the
+/// inbox on `Fin`/close.
+///
+/// An events-only binding (`inbox == None`) additionally reaps itself
+/// once `abandoned` reports that the drain thread holds the last handle
+/// — otherwise an abandoned client link would keep its connection (and
+/// this thread) alive forever. Data bindings intentionally stay alive
+/// while the peer may still send ("bind and forget" is the normal
+/// consumer-side pattern).
+pub(crate) fn drain_receiver<L: Link>(
+    link: L,
+    inbox: Option<InboxSender>,
+    on_event: impl Fn(ControlEvent) + Send + 'static,
+    rx_stats: Arc<SharedStats>,
+    abandoned: impl Fn(&L) -> bool + Send + 'static,
+) -> Result<(), TransportError> {
+    std::thread::Builder::new()
+        .name("netpipe-receiver".into())
+        .spawn(move || loop {
+            match link.recv(Duration::from_millis(50)) {
+                RecvOutcome::Frame(Frame::Data(bytes)) => {
+                    if let Some(inbox) = &inbox {
+                        if !inbox.put(Item::cloneable(bytes)) {
+                            rx_stats.refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                RecvOutcome::Frame(Frame::Event(ev)) => on_event(ev.into()),
+                RecvOutcome::Frame(_) => {}
+                RecvOutcome::TimedOut => {
+                    if inbox.is_none() && abandoned(&link) {
+                        return;
+                    }
+                }
+                RecvOutcome::Fin | RecvOutcome::Closed => {
+                    if let Some(inbox) = &inbox {
+                        inbox.finish();
+                    }
+                    return;
+                }
+            }
+        })
+        .map_err(TransportError::Io)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The generic producer-side send end
+// ---------------------------------------------------------------------
+
+/// The producer-side end of a netpipe: a passive pipeline sink accepting
+/// [`WireBytes`] and transmitting them as data frames over any
+/// [`Link`]. Broadcast control events are forwarded on the control lane;
+/// end of stream becomes a `Fin` frame.
+///
+/// One generic implementation serves every backend — this is what makes
+/// remote pipelines transport-agnostic at the composition level.
+pub struct NetSendEnd<L: Link> {
+    name: String,
+    link: L,
+}
+
+impl<L: Link> NetSendEnd<L> {
+    /// Wraps a link end as a pipeline sink.
+    #[must_use]
+    pub fn new(name: impl Into<String>, link: L) -> NetSendEnd<L> {
+        NetSendEnd {
+            name: name.into(),
+            link,
+        }
+    }
+
+    /// The underlying link (for stats probes).
+    #[must_use]
+    pub fn link(&self) -> &L {
+        &self.link
+    }
+}
+
+impl<L: Link> Stage for NetSendEnd<L> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+
+    fn on_event(&mut self, ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {
+        match event {
+            ControlEvent::Eos => {
+                let _ = self
+                    .link
+                    .send_via(&mut |to, msg| ctx.post(to, msg), Frame::Fin);
+            }
+            // Start/Stop are pipeline-local; everything else is forwarded
+            // to the remote side (feedback commands, resizes, ...).
+            ControlEvent::Start | ControlEvent::Stop => {}
+            other => {
+                let _ = self.link.send_via(
+                    &mut |to, msg| ctx.post(to, msg),
+                    Frame::Event(WireEvent::from(other)),
+                );
+            }
+        }
+    }
+}
+
+impl<L: Link> Consumer for NetSendEnd<L> {
+    fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
+        if let Ok((bytes, _)) = item.into_payload::<WireBytes>() {
+            let _ = self
+                .link
+                .send_via(&mut |to, msg| ctx.post(to, msg), Frame::Data(bytes));
+        }
+    }
+}
+
+impl<L: Link> fmt::Debug for NetSendEnd<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetSendEnd")
+            .field("name", &self.name)
+            .field("peer", &self.link.peer().to_string())
+            .finish()
+    }
+}
+
+/// Transport-aware pipeline composition helpers.
+pub trait PipelineTransportExt {
+    /// Adds a [`NetSendEnd`] over `link` as a consumer stage and records
+    /// the link's peer identity as the stage's transport in the plan
+    /// (surfaces in [`StagePlacement`](infopipes::StagePlacement)).
+    fn add_net_sink<'p, L: Link>(&'p self, name: &str, link: &L) -> Node<'p>;
+}
+
+impl PipelineTransportExt for Pipeline {
+    fn add_net_sink<'p, L: Link>(&'p self, name: &str, link: &L) -> Node<'p> {
+        let node = self.add_consumer(name, NetSendEnd::new(name, link.clone()));
+        self.set_transport(node, link.peer().to_string());
+        node
+    }
+}

@@ -1,0 +1,445 @@
+//! The TCP transport, over real sockets.
+//!
+//! The send side hands frames to a writer OS thread (so a uniprocessor
+//! kernel never blocks on socket I/O); the receive side reads frames off
+//! the stream — either polled through [`Link::recv`] or pumped into an
+//! inbox by the default `bind_receiver` thread, "network packets …
+//! mapped to messages by the platform" (§4).
+//!
+//! TCP is reliable: data frames are never dropped. Backpressure shows up
+//! as [`SendStatus::Saturated`] once the bounded send queue fills (the
+//! send then completes blockingly). Control-lane frames jump the local
+//! send queue, which is how out-of-band priority manifests on a single
+//! ordered byte stream.
+
+use super::{
+    Acceptor, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus, SharedStats,
+    Transport, TransportError,
+};
+use crate::framing::{write_frame, FrameKind, MAX_FRAME};
+use crate::marshal::WireBytes;
+use crate::proto::WireEvent;
+use crate::wire;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Send side: two-lane queue drained by a writer thread
+// ---------------------------------------------------------------------
+
+struct TxQueues {
+    /// Control lane: events and protocol messages. Unbounded, never
+    /// dropped, drained before data (priority).
+    ctrl: VecDeque<Frame>,
+    /// Data lane, bounded by `TcpTransport::send_queue`.
+    data: VecDeque<WireBytes>,
+    /// `Fin` requested: written once both lanes drain (end of stream
+    /// must not overtake its own data), then no further sends.
+    fin_queued: bool,
+    /// The writer thread exited (socket error or `Fin` written).
+    writer_gone: bool,
+}
+
+struct TxShared {
+    queues: Mutex<TxQueues>,
+    cv: Condvar,
+    capacity: usize,
+    stats: Arc<SharedStats>,
+}
+
+impl TxShared {
+    fn send(&self, frame: Frame) -> SendStatus {
+        let mut q = self.queues.lock();
+        if q.fin_queued || q.writer_gone {
+            return SendStatus::Closed;
+        }
+        let status = match frame {
+            Frame::Data(bytes) => {
+                // Accounting happens only once the frame is actually
+                // queued: a frame abandoned because the writer died
+                // mid-wait must not count as sent on a never-drops
+                // transport.
+                let len = bytes.len() as u64;
+                let status = if q.data.len() >= self.capacity {
+                    // Reliable transport: wait for space rather than drop,
+                    // and report the congestion.
+                    while q.data.len() >= self.capacity && !q.writer_gone {
+                        self.cv.wait(&mut q);
+                    }
+                    if q.writer_gone {
+                        return SendStatus::Closed;
+                    }
+                    q.data.push_back(bytes);
+                    SendStatus::Saturated
+                } else {
+                    q.data.push_back(bytes);
+                    if (q.data.len() + 1) * 2 > self.capacity {
+                        SendStatus::Saturated
+                    } else {
+                        SendStatus::Sent
+                    }
+                };
+                self.stats.sent.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_sent.fetch_add(len, Ordering::Relaxed);
+                status
+            }
+            Frame::Fin => {
+                q.fin_queued = true;
+                SendStatus::Sent
+            }
+            ctrl_frame => {
+                q.ctrl.push_back(ctrl_frame);
+                SendStatus::Sent
+            }
+        };
+        self.cv.notify_all();
+        status
+    }
+}
+
+fn writer_loop(tx: &TxShared, stream: &mut TcpStream) {
+    loop {
+        let frame = {
+            let mut q = tx.queues.lock();
+            loop {
+                if let Some(f) = q.ctrl.pop_front() {
+                    break f;
+                }
+                if let Some(bytes) = q.data.pop_front() {
+                    tx.cv.notify_all(); // space freed
+                    break Frame::Data(bytes);
+                }
+                if q.fin_queued {
+                    break Frame::Fin; // both lanes drained: end the stream
+                }
+                tx.cv.wait(&mut q);
+            }
+        };
+        let result = match &frame {
+            Frame::Data(bytes) => write_frame(stream, FrameKind::Data, &bytes.0),
+            Frame::Event(ev) => match wire::to_bytes(ev) {
+                Ok(bytes) => write_frame(stream, FrameKind::Event, &bytes),
+                Err(_) => Ok(()),
+            },
+            Frame::Control(bytes) => write_frame(stream, FrameKind::Control, bytes),
+            Frame::Fin => {
+                let _ = write_frame(stream, FrameKind::Fin, &[]);
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                break;
+            }
+        };
+        if result.is_err() {
+            break;
+        }
+    }
+    let mut q = tx.queues.lock();
+    q.writer_gone = true;
+    tx.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// The link
+// ---------------------------------------------------------------------
+
+/// Incremental frame reader: partial frames survive timed-out polls, so
+/// a slow-arriving large frame is never corrupted by polling `recv`.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum ReadStep {
+    Frame(FrameKind, Vec<u8>),
+    Eof,
+    TimedOut,
+    Broken,
+}
+
+impl FrameReader {
+    /// Tries to complete one frame before `deadline`.
+    fn read_frame_by(&mut self, deadline: Instant) -> ReadStep {
+        loop {
+            // A complete `[kind][len: u32 LE][payload]` in the buffer?
+            if self.buf.len() >= 5 {
+                let Ok(kind) = FrameKind::from_byte(self.buf[0]) else {
+                    return ReadStep::Broken;
+                };
+                let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME {
+                    return ReadStep::Broken;
+                }
+                if self.buf.len() >= 5 + len {
+                    let payload = self.buf[5..5 + len].to_vec();
+                    self.buf.drain(..5 + len);
+                    return ReadStep::Frame(kind, payload);
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return ReadStep::TimedOut;
+            }
+            let _ = self
+                .stream
+                .set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))));
+            let mut tmp = [0u8; 16 * 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return ReadStep::Eof,
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return ReadStep::Broken,
+            }
+        }
+    }
+}
+
+struct TcpInner {
+    peer: PeerIdentity,
+    tx: Arc<TxShared>,
+    /// The read half, shared by polling `recv` calls and the
+    /// `bind_receiver` drain thread (one receiver at a time).
+    reader: Mutex<Option<FrameReader>>,
+    /// Peer sent `Fin` (orderly end observed by the reader).
+    fin_seen: AtomicBool,
+    stats: Arc<SharedStats>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// A handle on the socket for teardown: lets `drop` unblock a writer
+    /// stuck in `write` against a peer that stopped reading.
+    shutdown_stream: TcpStream,
+    /// A receiver binding exists (at most one per link).
+    rx_bound: AtomicBool,
+}
+
+impl Drop for TcpInner {
+    fn drop(&mut self) {
+        // Best-effort orderly close: ask for Fin, give the writer a
+        // bounded window to flush, then cut the socket so the join below
+        // cannot hang on a peer that stopped reading.
+        self.tx.send(Frame::Fin);
+        {
+            let mut q = self.tx.queues.lock();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !q.writer_gone {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                self.tx.cv.wait_for(&mut q, deadline - now);
+            }
+            if !q.writer_gone {
+                let _ = self.shutdown_stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.writer.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One end of a TCP connection (cheap to clone).
+#[derive(Clone)]
+pub struct TcpLink {
+    inner: Arc<TcpInner>,
+}
+
+impl TcpLink {
+    fn from_stream(stream: TcpStream, send_queue: usize) -> Result<TcpLink, TransportError> {
+        let peer_addr = stream.peer_addr()?;
+        let stats = Arc::new(SharedStats::default());
+        let tx = Arc::new(TxShared {
+            queues: Mutex::new(TxQueues {
+                ctrl: VecDeque::new(),
+                data: VecDeque::new(),
+                fin_queued: false,
+                writer_gone: false,
+            }),
+            cv: Condvar::new(),
+            capacity: send_queue.max(1),
+            stats: Arc::clone(&stats),
+        });
+        let mut write_half = stream.try_clone()?;
+        let shutdown_stream = stream.try_clone()?;
+        let tx2 = Arc::clone(&tx);
+        let writer = std::thread::Builder::new()
+            .name("tcp-netpipe-writer".into())
+            .spawn(move || writer_loop(&tx2, &mut write_half))
+            .map_err(TransportError::Io)?;
+        Ok(TcpLink {
+            inner: Arc::new(TcpInner {
+                peer: PeerIdentity::new("tcp", peer_addr.to_string()),
+                tx,
+                reader: Mutex::new(Some(FrameReader {
+                    stream,
+                    buf: Vec::new(),
+                })),
+                fin_seen: AtomicBool::new(false),
+                stats,
+                writer: Mutex::new(Some(writer)),
+                shutdown_stream,
+                rx_bound: AtomicBool::new(false),
+            }),
+        })
+    }
+}
+
+impl Link for TcpLink {
+    fn peer(&self) -> PeerIdentity {
+        self.inner.peer.clone()
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        self.inner.tx.send(frame)
+    }
+
+    fn recv(&self, timeout: Duration) -> RecvOutcome {
+        if self.inner.fin_seen.load(Ordering::Acquire) {
+            return RecvOutcome::Fin;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.inner.reader.lock();
+        let Some(reader) = guard.as_mut() else {
+            return RecvOutcome::Closed;
+        };
+        match reader.read_frame_by(deadline) {
+            ReadStep::Frame(FrameKind::Data, payload) => {
+                self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                RecvOutcome::Frame(Frame::Data(WireBytes(payload)))
+            }
+            ReadStep::Frame(FrameKind::Event, payload) => {
+                match wire::from_bytes::<WireEvent>(&payload) {
+                    Ok(ev) => RecvOutcome::Frame(Frame::Event(ev)),
+                    Err(_) => RecvOutcome::Closed,
+                }
+            }
+            ReadStep::Frame(FrameKind::Control, payload) => {
+                RecvOutcome::Frame(Frame::Control(payload))
+            }
+            ReadStep::Frame(FrameKind::Fin, _) => {
+                self.inner.fin_seen.store(true, Ordering::Release);
+                RecvOutcome::Fin
+            }
+            ReadStep::TimedOut => RecvOutcome::TimedOut,
+            ReadStep::Eof | ReadStep::Broken => RecvOutcome::Closed,
+        }
+    }
+
+    fn bind_receiver(
+        &self,
+        inbox: Option<infopipes::InboxSender>,
+        on_event: impl Fn(infopipes::ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        if self.inner.rx_bound.swap(true, Ordering::AcqRel) {
+            return Err(TransportError::ReceiverTaken);
+        }
+        let rx_stats = Arc::clone(&self.inner.stats);
+        super::drain_receiver(self.clone(), inbox, on_event, rx_stats, |link| {
+            Arc::strong_count(&link.inner) == 1
+        })
+    }
+
+    fn stats(&self) -> LinkStats {
+        // TCP never drops; `delivered` counts what this end received.
+        self.inner.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for TcpLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpLink")
+            .field("peer", &self.inner.peer.to_string())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport and acceptor
+// ---------------------------------------------------------------------
+
+/// The TCP transport. Stateless apart from configuration; addresses are
+/// standard socket addresses (`127.0.0.1:0` binds an ephemeral port).
+#[derive(Clone, Debug)]
+pub struct TcpTransport {
+    send_queue: usize,
+}
+
+impl TcpTransport {
+    /// A transport with the default send-queue depth (1024 data frames).
+    #[must_use]
+    pub fn new() -> TcpTransport {
+        TcpTransport { send_queue: 1024 }
+    }
+
+    /// Overrides the bounded data-lane send queue depth; sends report
+    /// `Saturated` (and block) when it fills.
+    #[must_use]
+    pub fn with_send_queue(send_queue: usize) -> TcpTransport {
+        TcpTransport { send_queue }
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport::new()
+    }
+}
+
+impl Transport for TcpTransport {
+    type Link = TcpLink;
+    type Acceptor = TcpAcceptor;
+
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn listen(&self, addr: &str) -> Result<TcpAcceptor, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpAcceptor {
+            listener,
+            send_queue: self.send_queue,
+        })
+    }
+
+    fn connect(&self, addr: &str) -> Result<TcpLink, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        TcpLink::from_stream(stream, self.send_queue)
+    }
+}
+
+/// A bound TCP listener.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    send_queue: usize,
+}
+
+impl Acceptor for TcpAcceptor {
+    type Link = TcpLink;
+
+    fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+
+    fn accept(&self) -> Result<TcpLink, TransportError> {
+        let (stream, _) = self.listener.accept()?;
+        stream.set_nodelay(true).ok();
+        TcpLink::from_stream(stream, self.send_queue)
+    }
+}
+
+impl std::fmt::Debug for TcpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpAcceptor")
+            .field("addr", &self.local_addr())
+            .finish()
+    }
+}

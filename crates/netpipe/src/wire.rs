@@ -105,8 +105,8 @@ struct WireSerializer {
 
 impl WireSerializer {
     fn put_len(&mut self, len: usize) -> Result<(), WireError> {
-        let len = u32::try_from(len)
-            .map_err(|_| WireError::Invalid("length exceeds u32".into()))?;
+        let len =
+            u32::try_from(len).map_err(|_| WireError::Invalid("length exceeds u32".into()))?;
         self.out.extend_from_slice(&len.to_le_bytes());
         Ok(())
     }
@@ -241,9 +241,8 @@ impl ser::Serializer for &mut WireSerializer {
     }
 
     fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or_else(|| {
-            WireError::Invalid("sequences must have a known length".into())
-        })?;
+        let len =
+            len.ok_or_else(|| WireError::Invalid("sequences must have a known length".into()))?;
         self.put_len(len)?;
         Ok(self)
     }
@@ -268,8 +267,7 @@ impl ser::Serializer for &mut WireSerializer {
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len =
-            len.ok_or_else(|| WireError::Invalid("maps must have a known length".into()))?;
+        let len = len.ok_or_else(|| WireError::Invalid("maps must have a known length".into()))?;
         self.put_len(len)?;
         Ok(self)
     }
@@ -465,8 +463,7 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.get_len()?;
         let raw = self.take(len)?;
-        let s = std::str::from_utf8(raw)
-            .map_err(|e| WireError::Invalid(format!("utf-8: {e}")))?;
+        let s = std::str::from_utf8(raw).map_err(|e| WireError::Invalid(format!("utf-8: {e}")))?;
         visitor.visit_borrowed_str(s)
     }
 
@@ -513,7 +510,10 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -521,7 +521,10 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -535,7 +538,10 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -556,17 +562,11 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
         visitor.visit_enum(EnumAccess { de: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, WireError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
         Err(WireError::NotSelfDescribing)
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, WireError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
         Err(WireError::NotSelfDescribing)
     }
 

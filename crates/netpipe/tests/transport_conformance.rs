@@ -1,0 +1,370 @@
+//! The shared transport-conformance suite (§2.4's pluggability,
+//! enforced): every backend must satisfy the same four properties —
+//! **ordering**, **backpressure on a full link**, **control-event
+//! priority**, and **clean shutdown** — exercised through generic
+//! helpers that know nothing about the backend beyond the [`Transport`]
+//! and [`Link`] traits. A new backend earns its place by passing this
+//! file with three added tests.
+//!
+//! "Ordering" binds a backend's *lossless default* configuration. A
+//! backend may additionally offer deliberately degraded modes — the
+//! simulator with `jitter > 0` reorders data frames like a real
+//! datagram network — and those are exercised by the experiment suites
+//! (Fig. 1), not here.
+
+use infopipes::helpers::CollectSink;
+use infopipes::{BufferSpec, ControlEvent, FreePump, Pipeline};
+use mbthread::{Kernel, KernelConfig};
+use netpipe::{
+    Acceptor, Frame, InProcTransport, Link, RecvOutcome, SendStatus, SimConfig, SimTransport,
+    TcpTransport, Transport, Unmarshal, WireBytes,
+};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(20);
+
+fn data_frame(i: u32) -> Frame {
+    Frame::Data(WireBytes(netpipe::wire::to_bytes(&i).expect("encode")))
+}
+
+fn decode(bytes: &WireBytes) -> u32 {
+    netpipe::wire::from_bytes(&bytes.0).expect("decode")
+}
+
+/// Opens one connection: (client end, server end).
+fn connect_pair<T: Transport>(transport: &T, addr: &str) -> (T::Link, T::Link) {
+    let acceptor = transport.listen(addr).expect("listen");
+    let bound = acceptor.local_addr();
+    let client = transport.connect(&bound).expect("connect");
+    let server = acceptor.accept().expect("accept");
+    (client, server)
+}
+
+// ---------------------------------------------------------------------
+// Property 1: data frames arrive in order, ending with Fin
+// ---------------------------------------------------------------------
+
+fn check_ordering<T: Transport>(transport: &T, addr: &str) {
+    let (client, server) = connect_pair(transport, addr);
+    for i in 0..200u32 {
+        assert!(
+            client.send(data_frame(i)).accepted(),
+            "lossless-config send {i} must be accepted"
+        );
+    }
+    assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+
+    let mut got = Vec::new();
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        match server.recv(Duration::from_millis(100)) {
+            RecvOutcome::Frame(Frame::Data(bytes)) => got.push(decode(&bytes)),
+            RecvOutcome::Frame(_) => {}
+            RecvOutcome::Fin => break,
+            RecvOutcome::Closed => panic!("link closed before Fin ({} frames)", got.len()),
+            RecvOutcome::TimedOut => {
+                assert!(
+                    Instant::now() < deadline,
+                    "timed out after {} frames",
+                    got.len()
+                );
+            }
+        }
+    }
+    assert_eq!(got, (0..200).collect::<Vec<u32>>(), "in order, complete");
+}
+
+// ---------------------------------------------------------------------
+// Property 2: a full link pushes back — and is honest about loss
+// ---------------------------------------------------------------------
+
+/// `lossy`: whether this backend sheds frames on overflow (sim, inproc)
+/// or stalls the sender instead (tcp). A reliable backend must never
+/// report `Dropped`; a lossy one must count its drops.
+fn check_backpressure<T: Transport>(
+    transport: &T,
+    addr: &str,
+    payload: usize,
+    sends: usize,
+    lossy: bool,
+    drain: bool,
+) {
+    let (client, server) = connect_pair(transport, addr);
+
+    // A deliberately slow reader (reliable backends need one so the
+    // bounded send queue, not the test, is what fills up).
+    let drain_thread = drain.then(|| {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            let mut frames = 0usize;
+            let deadline = Instant::now() + DEADLINE;
+            loop {
+                match server.recv(Duration::from_millis(100)) {
+                    RecvOutcome::Frame(Frame::Data(_)) => {
+                        frames += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    RecvOutcome::Frame(_) => {}
+                    RecvOutcome::Fin | RecvOutcome::Closed => return frames,
+                    RecvOutcome::TimedOut => {
+                        if Instant::now() >= deadline {
+                            return frames;
+                        }
+                    }
+                }
+            }
+        })
+    });
+
+    let mut pressured = false;
+    let mut dropped = 0usize;
+    for _ in 0..sends {
+        match client.send(Frame::Data(WireBytes(vec![0u8; payload]))) {
+            SendStatus::Sent => {}
+            SendStatus::Saturated => pressured = true,
+            SendStatus::Dropped => {
+                pressured = true;
+                dropped += 1;
+            }
+            SendStatus::Closed => panic!("link closed mid-burst"),
+        }
+    }
+    assert!(
+        pressured,
+        "overrunning the link must surface a backpressure signal"
+    );
+    let stats = client.stats();
+    if lossy {
+        assert!(dropped > 0, "lossy backend must report drops");
+        assert_eq!(stats.dropped as usize, dropped, "stats count the drops");
+    } else {
+        assert_eq!(dropped, 0, "reliable backend must never drop");
+        assert_eq!(stats.dropped, 0, "{stats:?}");
+    }
+
+    if let Some(handle) = drain_thread {
+        assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+        let delivered = handle.join().expect("drain thread");
+        if !lossy {
+            assert_eq!(delivered, sends, "reliable backend delivers everything");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 3: control events overtake queued data
+// ---------------------------------------------------------------------
+
+fn check_event_priority<T: Transport>(transport: &T, addr: &str, payload: usize, sends: usize) {
+    let (client, server) = connect_pair(transport, addr);
+    for _ in 0..sends {
+        let status = client.send(Frame::Data(WireBytes(vec![0u8; payload])));
+        assert!(
+            !matches!(status, SendStatus::Closed),
+            "link must stay open during the burst"
+        );
+    }
+    // The event is sent *after* every data frame…
+    assert!(client
+        .send(Frame::Event(netpipe::WireEvent::SetDropLevel(3)))
+        .accepted());
+    assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+
+    // …yet must be observed before the data lane has fully drained.
+    let mut event_after = None;
+    let mut data_seen = 0usize;
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        match server.recv(Duration::from_millis(100)) {
+            RecvOutcome::Frame(Frame::Data(_)) => data_seen += 1,
+            RecvOutcome::Frame(Frame::Event(ev)) => {
+                assert_eq!(ev, netpipe::WireEvent::SetDropLevel(3));
+                event_after.get_or_insert(data_seen);
+            }
+            RecvOutcome::Frame(_) => {}
+            RecvOutcome::Fin => break,
+            RecvOutcome::Closed => panic!("link closed before Fin"),
+            RecvOutcome::TimedOut => {
+                assert!(
+                    Instant::now() < deadline,
+                    "timed out ({data_seen} data frames)"
+                );
+            }
+        }
+    }
+    let at = event_after.expect("the control event must arrive");
+    assert!(
+        at < data_seen,
+        "control event must overtake queued data: seen after {at} of {data_seen} frames"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property 4: clean shutdown end to end
+// ---------------------------------------------------------------------
+
+/// `Fin` finishes a bound pipeline inbox (EOS reaches the sink), the
+/// reverse direction keeps working, and sends after `Fin` report
+/// `Closed`.
+fn check_clean_shutdown<T: Transport>(transport: &T, addr: &str, kernel: &Kernel) {
+    let (client, server) = connect_pair(transport, addr);
+
+    let pipeline = Pipeline::new(kernel, "shutdown-consumer");
+    let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(256));
+    let pump = pipeline.add_pump("pump", FreePump::new());
+    let un = pipeline.add_function("unmarshal", Unmarshal::<u32>::new("unmarshal"));
+    let (sink, out) = CollectSink::<u32>::new("sink");
+    let sink = pipeline.add_consumer("sink", sink);
+    let _ = inbox >> pump >> un >> sink;
+    server
+        .bind_receiver(Some(inbox_sender), |_| {})
+        .expect("bind receiver");
+    let running = pipeline.start().expect("plan");
+    let events = running.subscribe();
+    running.start_flow().expect("start");
+
+    for i in 0..20u32 {
+        assert!(client.send(data_frame(i)).accepted());
+    }
+    assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+
+    // Everything lands, then the EOS control event sweeps the pipeline.
+    let deadline = Instant::now() + DEADLINE;
+    while out.lock().len() < 20 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(*out.lock(), (0..20).collect::<Vec<u32>>());
+    let mut saw_eos = false;
+    while Instant::now() < deadline {
+        match events.recv_timeout(Duration::from_millis(100)) {
+            Some(ControlEvent::Eos) => {
+                saw_eos = true;
+                break;
+            }
+            Some(_) => {}
+            None => {}
+        }
+    }
+    assert!(saw_eos, "Fin must finish the inbox and broadcast EOS");
+
+    // The reverse direction outlives the forward Fin…
+    assert!(server
+        .send(Frame::Event(netpipe::WireEvent::SetRate(12.5)))
+        .accepted());
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        match client.recv(Duration::from_millis(100)) {
+            RecvOutcome::Frame(Frame::Event(ev)) => {
+                assert_eq!(ev, netpipe::WireEvent::SetRate(12.5));
+                break;
+            }
+            RecvOutcome::Frame(_) => {}
+            other => {
+                assert!(
+                    Instant::now() < deadline,
+                    "reverse direction must stay open, got {other:?}"
+                );
+            }
+        }
+    }
+
+    // …and the closed forward direction says so.
+    assert_eq!(client.send(data_frame(99)), SendStatus::Closed);
+}
+
+// ---------------------------------------------------------------------
+// The three backends × four properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn inproc_conforms() {
+    let kernel = Kernel::new(KernelConfig::default());
+    check_ordering(&InProcTransport::new(), "order");
+    // An 8-slot ring: a 50-frame burst with nobody reading must drop.
+    check_backpressure(
+        &InProcTransport::with_capacity(8),
+        "bp",
+        64,
+        50,
+        true,
+        false,
+    );
+    check_event_priority(&InProcTransport::new(), "prio", 64, 50);
+    check_clean_shutdown(&InProcTransport::new(), "fin", &kernel);
+    kernel.shutdown();
+}
+
+#[test]
+fn sim_conforms() {
+    let kernel = Kernel::new(KernelConfig::default());
+    let fast = |k: &Kernel| {
+        SimTransport::new(
+            k,
+            SimConfig {
+                latency: Duration::from_millis(1),
+                ..SimConfig::default()
+            },
+        )
+    };
+    check_ordering(&fast(&kernel), "order");
+    // 4 KB queue, 60 s latency: the fifth 1 KB frame overflows.
+    check_backpressure(
+        &SimTransport::new(
+            &kernel,
+            SimConfig {
+                latency: Duration::from_secs(60),
+                queue_bytes: 4096,
+                ..SimConfig::default()
+            },
+        ),
+        "bp",
+        1024,
+        10,
+        true,
+        false,
+    );
+    // 200 KB/s bandwidth queues ~5 ms of serialization per frame; the
+    // control lane sees only the 1 ms latency.
+    check_event_priority(
+        &SimTransport::new(
+            &kernel,
+            SimConfig {
+                latency: Duration::from_millis(1),
+                bandwidth_bps: Some(200_000.0),
+                ..SimConfig::default()
+            },
+        ),
+        "prio",
+        1024,
+        50,
+    );
+    check_clean_shutdown(&fast(&kernel), "fin", &kernel);
+    kernel.shutdown();
+}
+
+#[test]
+fn tcp_conforms() {
+    let kernel = Kernel::new(KernelConfig::default());
+    check_ordering(&TcpTransport::new(), "127.0.0.1:0");
+    // A 2-frame send queue of 256 KB frames against a slow reader: the
+    // socket buffers fill, the queue fills, sends saturate — but TCP
+    // never drops and everything is delivered.
+    check_backpressure(
+        &TcpTransport::with_send_queue(2),
+        "127.0.0.1:0",
+        256 * 1024,
+        32,
+        false,
+        true,
+    );
+    // 16 × 256 KB swamps the socket buffers, so most data frames are
+    // still in the local send queue when the event jumps it.
+    check_event_priority(
+        &TcpTransport::with_send_queue(64),
+        "127.0.0.1:0",
+        256 * 1024,
+        16,
+    );
+    check_clean_shutdown(&TcpTransport::new(), "127.0.0.1:0", &kernel);
+    kernel.shutdown();
+}

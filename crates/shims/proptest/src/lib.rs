@@ -1,0 +1,500 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate (the
+//! build environment has no network access to crates.io).
+//!
+//! It keeps proptest's *vocabulary* — `proptest!`, `Strategy`,
+//! `prop_oneof!`, `any::<T>()`, `prop_map`, `collection::vec`,
+//! `collection::btree_map`, `option::of`, string-pattern strategies —
+//! but replaces the engine with plain deterministic random sampling: no
+//! shrinking, no persisted failure seeds. Each `proptest!` test runs its
+//! body for `ProptestConfig::cases` samples drawn from a generator
+//! seeded by the test's name, so failures reproduce across runs.
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Deterministic sampling source (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (e.g. the test name).
+    #[must_use]
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge cases in with uniform bits.
+                match rng.below(8) {
+                    0 => <$ty>::MIN,
+                    1 => <$ty>::MAX,
+                    2 => 0 as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(4) {
+            // Mostly ASCII, sometimes the whole scalar range.
+            0 | 1 => (b' ' + (rng.below(95)) as u8) as char,
+            2 => char::from_u32(0x00A0 + rng.next_u64() as u32 % 0x2000).unwrap_or('¤'),
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.next_u64() as u32 % 0x11_0000) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(6) {
+            0 => 0.0,
+            1 => -1.5,
+            _ => (rng.unit_f64() - 0.5) * 2e9,
+        }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+// ---------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as (very small) regex-like generators. Supported
+/// forms: `.` (any char), `[a-z]`-style single class, each optionally
+/// followed by `*` (0..=32) or `{m,n}`; a bare class/dot generates one
+/// char. Anything else is treated as `.{0,32}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self);
+        let len = min + rng.below(max - min + 1);
+        let mut out = String::new();
+        for _ in 0..len {
+            out.push(class.sample(rng));
+        }
+        out
+    }
+}
+
+#[derive(Clone)]
+enum CharClass {
+    AnyChar,
+    Span(char, char),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::AnyChar => char::arbitrary(rng),
+            CharClass::Span(lo, hi) => {
+                let span = *hi as u32 - *lo as u32 + 1;
+                char::from_u32(*lo as u32 + rng.next_u64() as u32 % span).unwrap_or(*lo)
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> (CharClass, usize, usize) {
+    let mut chars = pat.chars().peekable();
+    let class = match chars.next() {
+        Some('.') => CharClass::AnyChar,
+        Some('[') => {
+            // `[a-z]` form only.
+            let lo = chars.next();
+            let dash = chars.next();
+            let hi = chars.next();
+            let close = chars.next();
+            match (lo, dash, hi, close) {
+                (Some(lo), Some('-'), Some(hi), Some(']')) => CharClass::Span(lo, hi),
+                _ => return (CharClass::AnyChar, 0, 32),
+            }
+        }
+        _ => return (CharClass::AnyChar, 0, 32),
+    };
+    match chars.next() {
+        None => (class, 1, 1),
+        Some('*') => (class, 0, 32),
+        Some('{') => {
+            let rest: String = chars.collect();
+            let inner = rest.trim_end_matches('}');
+            let mut parts = inner.splitn(2, ',');
+            let m: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+            let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(m);
+            (class, m, n.max(m))
+        }
+        _ => (class, 0, 32),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Modules mirroring proptest's layout
+// ---------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BTreeMap, Range, Strategy, TestRng};
+
+    /// A strategy for `Vec<S::Value>` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps whose entry count falls in `size` (before key
+    /// deduplication).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span);
+            (0..len)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Option<S::Value>` (¾ `Some`, ¼ `None`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option`s of the inner strategy's values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Numeric sub-strategies (float classes).
+pub mod num {
+    /// `f64` classes.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        const CLASS_NORMAL: u32 = 1;
+        const CLASS_ZERO: u32 = 2;
+
+        /// A union of IEEE-754 value classes; `|` composes classes.
+        #[derive(Copy, Clone, Debug)]
+        pub struct FloatClasses(u32);
+
+        /// Normal (non-zero, non-subnormal, finite) values.
+        pub const NORMAL: FloatClasses = FloatClasses(CLASS_NORMAL);
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses(CLASS_ZERO);
+
+        impl std::ops::BitOr for FloatClasses {
+            type Output = FloatClasses;
+
+            fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                FloatClasses(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                let mut classes = Vec::new();
+                if self.0 & CLASS_NORMAL != 0 {
+                    classes.push(CLASS_NORMAL);
+                }
+                if self.0 & CLASS_ZERO != 0 {
+                    classes.push(CLASS_ZERO);
+                }
+                match classes[rng.below(classes.len())] {
+                    CLASS_ZERO => {
+                        if rng.below(2) == 0 {
+                            0.0
+                        } else {
+                            -0.0
+                        }
+                    }
+                    _ => {
+                        // Sign * mantissa in [1, 2) * 2^exp with a modest
+                        // exponent range (normal by construction).
+                        let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+                        let mantissa = 1.0 + rng.unit_f64();
+                        let exp = rng.below(129) as i32 - 64;
+                        sign * mantissa * 2f64.powi(exp)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Alias so `prop::num::f64::NORMAL`-style paths resolve.
+    pub use crate as prop;
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each function samples its argument
+/// strategies [`ProptestConfig::cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}

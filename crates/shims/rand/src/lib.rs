@@ -1,0 +1,192 @@
+//! A minimal, API-compatible stand-in for the `rand` crate (the build
+//! environment has no network access to crates.io). Provides the slice
+//! the workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges.
+//!
+//! The generator is xorshift64* seeded through splitmix64 — statistically
+//! fine for jitter models and tests, deterministic per seed, and *not*
+//! cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator (xorshift64* here; the real crate uses
+    /// ChaCha12 — only determinism-per-seed matters to this workspace).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 step avoids weak low-entropy seeds (incl. 0).
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: z | 1, // xorshift state must be nonzero
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+fn sample_unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                ((start as u128) + v) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($ty:ty => $uty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + sample_unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + sample_unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).sample(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<u64> = (0..8).map(|_| a.random_range(0..=u64::MAX)).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.random_range(0..=u64::MAX)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.random_range(0..=u64::MAX)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.random_range(0.75..=1.25);
+            assert!((0.75..=1.25).contains(&f));
+            let i: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+}

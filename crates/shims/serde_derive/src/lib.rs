@@ -1,0 +1,481 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` macros for the in-repo
+//! serde shim (the build environment has no network access, so `syn` and
+//! `quote` are unavailable; the item is parsed directly from the token
+//! stream).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs
+//! * enums whose variants are unit, newtype/tuple, or struct-like
+//!
+//! Unsupported (panics with a clear message): generics, `serde(...)`
+//! attributes, and discriminant expressions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_serialize_struct(name, fields),
+        Item::Enum { name, variants } => gen_serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_deserialize_struct(name, fields),
+        Item::Enum { name, variants } => gen_deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected a type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => {
+                    panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}")
+                }
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => {
+                    panic!("serde shim derive: expected enum body for `{name}`, found {other:?}")
+                }
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: cannot derive on `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas (angle-bracket aware —
+/// `<` and `>` are plain puncts in a token stream, unlike `(..)`/`[..]`
+/// which arrive as atomic groups).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected a field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            skip_attrs_and_vis(&tokens, &mut i);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected a variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match tokens.get(i) {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                    "serde shim derive: explicit discriminants are not supported (variant `{name}`)"
+                ),
+                other => panic!("serde shim derive: unsupported variant body: {other:?}"),
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Tuple(n) => {
+            let mut b = String::new();
+            b.push_str("{ use serde::ser::SerializeTupleStruct as _; ");
+            b.push_str(&format!(
+                "let mut __state = __serializer.serialize_tuple_struct(\"{name}\", {n})?; "
+            ));
+            for idx in 0..*n {
+                b.push_str(&format!("__state.serialize_field(&self.{idx})?; "));
+            }
+            b.push_str("__state.end() }");
+            b
+        }
+        Fields::Named(fs) => {
+            let mut b = String::new();
+            b.push_str("{ use serde::ser::SerializeStruct as _; ");
+            b.push_str(&format!(
+                "let mut __state = __serializer.serialize_struct(\"{name}\", {})?; ",
+                fs.len()
+            ));
+            for f in fs {
+                b.push_str(&format!("__state.serialize_field(\"{f}\", &self.{f})?; "));
+            }
+            b.push_str("__state.end() }");
+            b
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (idx, (vname, fields)) in variants.iter().enumerate() {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let mut body = String::new();
+                body.push_str("{ use serde::ser::SerializeTupleVariant as _; ");
+                body.push_str(&format!(
+                    "let mut __state = __serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?; "
+                ));
+                for p in &pats {
+                    body.push_str(&format!("__state.serialize_field({p})?; "));
+                }
+                body.push_str("__state.end() }");
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {body},\n",
+                    pats.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let mut body = String::new();
+                body.push_str("{ use serde::ser::SerializeStructVariant as _; ");
+                body.push_str(&format!(
+                    "let mut __state = __serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {})?; ",
+                    fs.len()
+                ));
+                for f in fs {
+                    body.push_str(&format!("__state.serialize_field(\"{f}\", {f})?; "));
+                }
+                body.push_str("__state.end() }");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {body},\n",
+                    fs.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> core::result::Result<__S::Ok, __S::Error> {{ match self {{ {arms} }} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+/// A `visit_seq` body constructing `ctor(...)` from consecutive elements.
+fn seq_construction(ctor: &str, fields: &Fields) -> String {
+    let (lets, build) = match fields {
+        Fields::Unit => (String::new(), ctor.to_owned()),
+        Fields::Tuple(n) => {
+            let mut lets = String::new();
+            let mut names = Vec::new();
+            for k in 0..*n {
+                lets.push_str(&format!(
+                    "let __f{k} = match __seq.next_element()? {{ Some(__v) => __v, None => \
+                     return Err(serde::de::Error::custom(\"missing tuple field {k}\")) }}; "
+                ));
+                names.push(format!("__f{k}"));
+            }
+            (lets, format!("{ctor}({})", names.join(", ")))
+        }
+        Fields::Named(fs) => {
+            let mut lets = String::new();
+            for f in fs {
+                lets.push_str(&format!(
+                    "let __field_{f} = match __seq.next_element()? {{ Some(__v) => __v, None => \
+                     return Err(serde::de::Error::custom(\"missing field `{f}`\")) }}; "
+                ));
+            }
+            let inits: Vec<String> = fs.iter().map(|f| format!("{f}: __field_{f}")).collect();
+            (lets, format!("{ctor} {{ {} }}", inits.join(", ")))
+        }
+    };
+    format!("{lets} core::result::Result::Ok({build})")
+}
+
+fn gen_deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+             -> core::result::Result<Self, __D::Error> {{\n\
+             struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+             __f.write_str(\"unit struct {name}\") }}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<{name}, __E> {{ \
+             core::result::Result::Ok({name}) }}\n\
+             }}\n\
+             __deserializer.deserialize_unit_struct(\"{name}\", __Visitor)\n\
+             }}\n}}"
+        ),
+        Fields::Tuple(n) => {
+            let body = seq_construction(name, fields);
+            let driver = if *n == 1 {
+                // Newtype structs go through `deserialize_newtype_struct`.
+                format!(
+                    "fn visit_newtype_struct<__D2: serde::Deserializer<'de>>(self, __d: __D2) \
+                     -> core::result::Result<{name}, __D2::Error> {{ \
+                     core::result::Result::Ok({name}(serde::Deserialize::deserialize(__d)?)) }}\n\
+                     fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> core::result::Result<{name}, __A::Error> {{ {body} }}\n"
+                )
+            } else {
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> core::result::Result<{name}, __A::Error> {{ {body} }}\n"
+                )
+            };
+            let call = if *n == 1 {
+                format!("__deserializer.deserialize_newtype_struct(\"{name}\", __Visitor)")
+            } else {
+                format!("__deserializer.deserialize_tuple_struct(\"{name}\", {n}, __Visitor)")
+            };
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+                 __f.write_str(\"tuple struct {name}\") }}\n\
+                 {driver}\
+                 }}\n\
+                 {call}\n\
+                 }}\n}}"
+            )
+        }
+        Fields::Named(fs) => {
+            let body = seq_construction(name, fields);
+            let field_list: Vec<String> = fs.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+                 __f.write_str(\"struct {name}\") }}\n\
+                 fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> core::result::Result<{name}, __A::Error> {{ {body} }}\n\
+                 }}\n\
+                 __deserializer.deserialize_struct(\"{name}\", &[{}], __Visitor)\n\
+                 }}\n}}",
+                field_list.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (idx, (vname, fields)) in variants.iter().enumerate() {
+        let ctor = format!("{name}::{vname}");
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{idx}u32 => {{ serde::de::VariantAccess::unit_variant(__variant)?; \
+                 core::result::Result::Ok({ctor}) }}\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{idx}u32 => core::result::Result::Ok({ctor}(\
+                 serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let body = seq_construction(&ctor, fields);
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\n\
+                     struct __V{idx};\n\
+                     impl<'de> serde::de::Visitor<'de> for __V{idx} {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+                     __f.write_str(\"tuple variant {name}::{vname}\") }}\n\
+                     fn visit_seq<__A2: serde::de::SeqAccess<'de>>(self, mut __seq: __A2) \
+                     -> core::result::Result<{name}, __A2::Error> {{ {body} }}\n\
+                     }}\n\
+                     serde::de::VariantAccess::tuple_variant(__variant, {n}, __V{idx})\n\
+                     }}\n"
+                ));
+            }
+            Fields::Named(fs) => {
+                let body = seq_construction(&ctor, fields);
+                let field_list: Vec<String> = fs.iter().map(|f| format!("\"{f}\"")).collect();
+                arms.push_str(&format!(
+                    "{idx}u32 => {{\n\
+                     struct __V{idx};\n\
+                     impl<'de> serde::de::Visitor<'de> for __V{idx} {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+                     __f.write_str(\"struct variant {name}::{vname}\") }}\n\
+                     fn visit_seq<__A2: serde::de::SeqAccess<'de>>(self, mut __seq: __A2) \
+                     -> core::result::Result<{name}, __A2::Error> {{ {body} }}\n\
+                     }}\n\
+                     serde::de::VariantAccess::struct_variant(__variant, &[{}], __V{idx})\n\
+                     }}\n",
+                    field_list.join(", ")
+                ));
+            }
+        }
+    }
+    let variant_names: Vec<String> = variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> core::result::Result<Self, __D::Error> {{\n\
+         struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {name};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{ \
+         __f.write_str(\"enum {name}\") }}\n\
+         fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+         -> core::result::Result<{name}, __A::Error> {{\n\
+         let (__idx, __variant) = serde::de::EnumAccess::variant_seed(__data, \
+         serde::de::VariantIndexSeed)?;\n\
+         match __idx {{\n{arms}\
+         __other => core::result::Result::Err(serde::de::Error::custom(\"invalid variant index\")),\n\
+         }}\n\
+         }}\n\
+         }}\n\
+         __deserializer.deserialize_enum(\"{name}\", &[{}], __Visitor)\n\
+         }}\n}}",
+        variant_names.join(", ")
+    )
+}

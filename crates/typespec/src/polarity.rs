@@ -112,11 +112,12 @@ mod tests {
     fn complement_is_involutive_for_fixed() {
         assert_eq!(Polarity::Positive.complement(), Polarity::Negative);
         assert_eq!(Polarity::Negative.complement(), Polarity::Positive);
-        assert_eq!(
-            Polarity::Polymorphic.complement(),
-            Polarity::Polymorphic
-        );
-        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+        assert_eq!(Polarity::Polymorphic.complement(), Polarity::Polymorphic);
+        for p in [
+            Polarity::Positive,
+            Polarity::Negative,
+            Polarity::Polymorphic,
+        ] {
             assert_eq!(p.complement().complement(), p);
         }
     }
@@ -137,7 +138,11 @@ mod tests {
 
     #[test]
     fn polymorphic_connects_to_everything() {
-        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+        for p in [
+            Polarity::Positive,
+            Polarity::Negative,
+            Polarity::Polymorphic,
+        ] {
             assert!(Polarity::Polymorphic.connects_to(p));
             assert!(p.connects_to(Polarity::Polymorphic));
         }
@@ -164,7 +169,11 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for p in [Polarity::Positive, Polarity::Negative, Polarity::Polymorphic] {
+        for p in [
+            Polarity::Positive,
+            Polarity::Negative,
+            Polarity::Polymorphic,
+        ] {
             assert!(!p.to_string().is_empty());
         }
     }

@@ -137,13 +137,11 @@ impl Typespec {
     }
 
     /// Control events offered by the flow.
-    #[must_use]
     pub fn events_offered(&self) -> impl Iterator<Item = &str> {
         self.events_offered.iter().map(String::as_str)
     }
 
     /// Control events required of the flow.
-    #[must_use]
     pub fn events_required(&self) -> impl Iterator<Item = &str> {
         self.events_required.iter().map(String::as_str)
     }
@@ -318,10 +316,7 @@ mod tests {
         let b = Typespec::of::<u32>().with_qos(QosKey::FrameRateHz, QosRange::at_most(24.0));
         let m = a.intersect(&b).unwrap();
         assert_eq!(m.item(), &ItemType::of::<u32>());
-        assert_eq!(
-            m.qos(&QosKey::FrameRateHz),
-            Some(QosRange::new(10.0, 24.0))
-        );
+        assert_eq!(m.qos(&QosKey::FrameRateHz), Some(QosRange::new(10.0, 24.0)));
     }
 
     #[test]
@@ -380,7 +375,10 @@ mod tests {
             Err(TypeError::QosDisjoint { .. })
         ));
         let unknown = Typespec::new().with_qos(QosKey::JitterMs, QosRange::at_most(1.0));
-        assert!(matches!(offer.satisfy(&unknown), Err(TypeError::Rejected(_))));
+        assert!(matches!(
+            offer.satisfy(&unknown),
+            Err(TypeError::Rejected(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,9 @@ use media::{
     DecodeCost, Decoder, Defragmenter, DisplaySink, Fragmenter, GopStructure, MpegFileSource,
     Packet, PriorityDropFilter,
 };
-use netpipe::{Marshal, SimConfig, SimLink, Unmarshal};
+use netpipe::{
+    Acceptor, Link, Marshal, PipelineTransportExt, SimConfig, SimTransport, Transport, Unmarshal,
+};
 use std::time::Duration;
 
 const FPS: f64 = 30.0;
@@ -41,8 +43,7 @@ fn run(with_feedback: bool) -> Outcome {
         // Consumer node.
         let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(512));
         let net_pump = pipeline.add_pump("net-pump", FreePump::new());
-        let unmarshal =
-            pipeline.add_function("unmarshal", Unmarshal::<Packet>::new("unmarshal"));
+        let unmarshal = pipeline.add_function("unmarshal", Unmarshal::<Packet>::new("unmarshal"));
         let defrag = pipeline.add_consumer("defragment", Defragmenter::new());
         let decoder = Decoder::new(GOP, DecodeCost::free());
         let dec_stats = decoder.stats_handle();
@@ -55,9 +56,10 @@ fn run(with_feedback: bool) -> Outcome {
         let (display, display_stats) = DisplaySink::new();
         let sink = pipeline.add_consumer("display", display);
         if with_feedback {
-            let controller = DropLevelController::new("recv-rate-hz", 60.0)
-                .with_fractions([1.0, 0.67, 0.44]);
-            let (fb, _) = FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
+            let controller =
+                DropLevelController::new("recv-rate-hz", 60.0).with_fractions([1.0, 0.67, 0.44]);
+            let (fb, _) =
+                FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
             let fb = pipeline.add_consumer("feedback", fb);
             let _ = inbox >> net_pump >> unmarshal >> fb >> defrag >> decode;
         } else {
@@ -66,7 +68,7 @@ fn run(with_feedback: bool) -> Outcome {
         let _ = decode >> jitter_buf >> out_pump >> sink;
 
         // The congested link: ~40% of the offered bandwidth.
-        let link = SimLink::new(
+        let transport = SimTransport::new(
             &kernel,
             SimConfig {
                 latency: Duration::from_millis(20),
@@ -75,9 +77,13 @@ fn run(with_feedback: bool) -> Outcome {
                 queue_bytes: 4_000,
                 seed: 99,
             },
-            inbox_sender,
-        )
-        .expect("link");
+        );
+        let acceptor = transport.listen("fig1").expect("listen");
+        let link = transport.connect("fig1").expect("connect");
+        let consumer_end = acceptor.accept().expect("accept");
+        consumer_end
+            .bind_receiver(Some(inbox_sender), |_| {})
+            .expect("bind receiver");
 
         // Producer node: "frames are pumped through a filter into a
         // netpipe" (Fig. 1).
@@ -90,7 +96,7 @@ fn run(with_feedback: bool) -> Outcome {
         let dropf = pipeline.add_function("drop-filter", drop_filter);
         let frag = pipeline.add_consumer("fragment", Fragmenter::new(512));
         let marshal = pipeline.add_function("marshal", Marshal::<Packet>::new("marshal"));
-        let send = pipeline.add_consumer("net-send", link.send_end("net-send"));
+        let send = pipeline.add_net_sink("net-send", &link);
         let _ = source >> prod_pump >> dropf >> frag >> marshal >> send;
 
         let running = pipeline.start().expect("composition is valid");
@@ -116,8 +122,10 @@ fn main() {
         "{:<22} {:>10} {:>14} {:>12} {:>14}",
         "condition", "presented", "decode ratio", "net drops", "filter drops"
     );
-    for (label, with_feedback) in [("arbitrary (network)", false), ("controlled (feedback)", true)]
-    {
+    for (label, with_feedback) in [
+        ("arbitrary (network)", false),
+        ("controlled (feedback)", true),
+    ] {
         let o = run(with_feedback);
         println!(
             "{:<22} {:>10} {:>13.0}% {:>12} {:>14}",

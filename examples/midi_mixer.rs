@@ -50,9 +50,7 @@ fn run(active_relays: bool) -> (usize, u64, u64, usize) {
 }
 
 fn main() {
-    println!(
-        "MIDI mixer: 2 channels x {EVENTS_PER_CHANNEL} tiny events through a merge buffer\n"
-    );
+    println!("MIDI mixer: 2 channels x {EVENTS_PER_CHANNEL} tiny events through a merge buffer\n");
     println!(
         "{:<28} {:>8} {:>10} {:>12} {:>16}",
         "configuration", "threads", "events", "ctx switches", "kernel messages"
@@ -62,9 +60,7 @@ fn main() {
         ("coroutine per channel", true),
     ] {
         let (events, switches, messages, threads) = run(active);
-        println!(
-            "{label:<28} {threads:>8} {events:>10} {switches:>12} {messages:>16}"
-        );
+        println!("{label:<28} {threads:>8} {events:>10} {switches:>12} {messages:>16}");
         assert_eq!(events as u64, 2 * EVENTS_PER_CHANNEL);
     }
     println!(

@@ -1,6 +1,9 @@
 //! The full Fig. 1 pipeline: producer-side dropping under feedback
 //! control versus arbitrary in-network dropping, across a congested
-//! simulated link — all deterministic under virtual time.
+//! simulated link — all deterministic under virtual time. Plus the
+//! transport-pluggability property: the *same* pipeline composition runs
+//! over different [`Transport`] backends by swapping only the transport
+//! value.
 //!
 //! ```text
 //! file ─ drop-filter ─ pump ─ fragment ─ marshal ─▶ netpipe
@@ -11,15 +14,21 @@ use feedback::{DropLevelController, FeedbackLoop};
 use infopipes::{BufferSpec, ClockedPump, FreePump, Pipeline};
 use mbthread::{Kernel, KernelConfig};
 use media::{
-    DecodeCost, Decoder, DisplaySink, Defragmenter, Fragmenter, GopStructure, MpegFileSource,
+    DecodeCost, Decoder, Defragmenter, DisplaySink, Fragmenter, GopStructure, MpegFileSource,
     Packet, PriorityDropFilter,
 };
-use netpipe::{Marshal, SimConfig, SimLink, Unmarshal};
+use netpipe::{
+    Acceptor, InProcTransport, Link, Marshal, PipelineTransportExt, SimConfig, SimTransport,
+    TcpTransport, Transport, Unmarshal,
+};
 use std::time::Duration;
 
 const FPS: f64 = 30.0;
 const FRAMES: u64 = 240; // 8 seconds of video
-const GOP: GopStructure = GopStructure { gop_size: 9, b_run: 2 };
+const GOP: GopStructure = GopStructure {
+    gop_size: 9,
+    b_run: 2,
+};
 
 struct Outcome {
     presented: usize,
@@ -42,8 +51,10 @@ fn run_fig1(with_feedback: bool) -> Outcome {
         // ---- consumer node ----
         let (inbox, inbox_sender) = pipeline.add_inbox("net-in", BufferSpec::bounded(512));
         let net_pump = pipeline.add_pump("net-pump", FreePump::new());
-        let unmarshal =
-            pipeline.add_function("unmarshal", Unmarshal::<Packet>::new("unmarshal").at_node("consumer"));
+        let unmarshal = pipeline.add_function(
+            "unmarshal",
+            Unmarshal::<Packet>::new("unmarshal").at_node("consumer"),
+        );
         let defrag = pipeline.add_consumer("defragment", Defragmenter::new());
         let decoder = Decoder::new(GOP, DecodeCost::free());
         let dec_stats = decoder.stats_handle();
@@ -61,8 +72,8 @@ fn run_fig1(with_feedback: bool) -> Outcome {
             // starves. An IBBPBB... GOP at 512-byte MTU yields ~18
             // packets per 9 frames (60 pkt/s at 30 fps); reference-only
             // delivery is ~40 pkt/s (0.67), I-only ~27 pkt/s (0.44).
-            let controller = DropLevelController::new("recv-rate-hz", 60.0)
-                .with_fractions([1.0, 0.67, 0.44]);
+            let controller =
+                DropLevelController::new("recv-rate-hz", 60.0).with_fractions([1.0, 0.67, 0.44]);
             let (fb, _fb_stats) =
                 FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
             let feedback_node = pipeline.add_consumer("feedback", fb);
@@ -83,7 +94,7 @@ fn run_fig1(with_feedback: bool) -> Outcome {
         // the link carries well under half of that, so without
         // producer-side dropping the queue overflows and the network
         // drops packets arbitrarily, shredding multi-packet frames.
-        let link = SimLink::new(
+        let transport = SimTransport::new(
             &kernel,
             SimConfig {
                 latency: Duration::from_millis(20),
@@ -92,9 +103,13 @@ fn run_fig1(with_feedback: bool) -> Outcome {
                 queue_bytes: 4_000,
                 seed: 99,
             },
-            inbox_sender,
-        )
-        .expect("link");
+        );
+        let acceptor = transport.listen("fig1").expect("listen");
+        let link = transport.connect("fig1").expect("connect");
+        let consumer_end = acceptor.accept().expect("accept");
+        consumer_end
+            .bind_receiver(Some(inbox_sender), |_| {})
+            .expect("bind receiver");
 
         // ---- producer node ----
         let source = pipeline.add_producer(
@@ -105,9 +120,11 @@ fn run_fig1(with_feedback: bool) -> Outcome {
         let dropf = pipeline.add_function("drop-filter", drop_filter);
         let prod_pump = pipeline.add_pump("prod-pump", ClockedPump::hz(FPS));
         let frag = pipeline.add_consumer("fragment", Fragmenter::new(512));
-        let marshal =
-            pipeline.add_function("marshal", Marshal::<Packet>::new("marshal").at_node("producer"));
-        let send = pipeline.add_consumer("net-send", link.send_end("net-send"));
+        let marshal = pipeline.add_function(
+            "marshal",
+            Marshal::<Packet>::new("marshal").at_node("producer"),
+        );
+        let send = pipeline.add_net_sink("net-send", &link);
         // Fig. 1's order: "frames are pumped through a filter into a
         // netpipe" — the filter sits downstream of the pump, so a dropped
         // frame reduces the sent rate (upstream of the pump, the pump's
@@ -115,6 +132,12 @@ fn run_fig1(with_feedback: bool) -> Outcome {
         let _ = source >> prod_pump >> dropf >> frag >> marshal >> send;
 
         let running = pipeline.start().expect("plan");
+        // The planner knows where the section boundary leaves the process.
+        assert!(
+            running.report().to_string().contains("via sim://fig1"),
+            "plan must name the transport: {}",
+            running.report()
+        );
         running.start_flow().expect("start");
         running.wait_quiescent();
 
@@ -193,16 +216,20 @@ fn uncongested_link_needs_no_feedback() {
         let sink = pipeline.add_consumer("display", display);
         let _ = inbox >> net_pump >> unmarshal >> defrag >> decode >> sink;
 
-        let link = SimLink::new(&kernel, SimConfig::default(), inbox_sender).expect("link");
+        let transport = SimTransport::new(&kernel, SimConfig::default());
+        let acceptor = transport.listen("line").expect("listen");
+        let link = transport.connect("line").expect("connect");
+        acceptor
+            .accept()
+            .expect("accept")
+            .bind_receiver(Some(inbox_sender), |_| {})
+            .expect("bind receiver");
 
-        let source = pipeline.add_producer(
-            "mpeg-file",
-            MpegFileSource::new(GOP, 60, FPS, 1000, 5),
-        );
+        let source = pipeline.add_producer("mpeg-file", MpegFileSource::new(GOP, 60, FPS, 1000, 5));
         let pump = pipeline.add_pump("pump", ClockedPump::hz(120.0));
         let frag = pipeline.add_consumer("fragment", Fragmenter::new(512));
         let marshal = pipeline.add_function("marshal", Marshal::<Packet>::new("marshal"));
-        let send = pipeline.add_consumer("net-send", link.send_end("net-send"));
+        let send = pipeline.add_net_sink("net-send", &link);
         let _ = source >> pump >> frag >> marshal >> send;
 
         let running = pipeline.start().expect("plan");
@@ -214,4 +241,103 @@ fn uncongested_link_needs_no_feedback() {
         assert!((dec_stats.lock().decode_ratio() - 1.0).abs() < 1e-9);
     }
     kernel.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Transport pluggability: the same composition over different backends
+// ---------------------------------------------------------------------
+
+/// Builds and runs the distributed video pipeline over an arbitrary
+/// transport. Everything below is identical regardless of backend — only
+/// the `transport` value (and the address vocabulary) changes.
+fn run_video_over<T: Transport>(
+    make_transport: impl FnOnce(&Kernel) -> T,
+    addr: &str,
+) -> (usize, String) {
+    const N: u64 = 60;
+    let kernel = Kernel::new(KernelConfig::default());
+    let result = {
+        let transport = make_transport(&kernel);
+        let acceptor = transport.listen(addr).expect("listen");
+        let bound_addr = acceptor.local_addr();
+
+        // Consumer side.
+        let consumer = Pipeline::new(&kernel, "consumer");
+        let (inbox, inbox_sender) = consumer.add_inbox("net-in", BufferSpec::bounded(512));
+        let pump = consumer.add_pump("pump", FreePump::new());
+        let link = transport.connect(&bound_addr).expect("connect");
+        let server_end = acceptor.accept().expect("accept");
+        let unmarshal = consumer.add_function(
+            "unmarshal",
+            Unmarshal::<media::CompressedFrame>::new("unmarshal").at_peer(&server_end.peer()),
+        );
+        let peer_seen = server_end.peer().to_string();
+        let decode = consumer.add_consumer("decode", Decoder::new(GOP, DecodeCost::free()));
+        let (display, display_stats) = DisplaySink::new();
+        let sink = consumer.add_consumer("display", display);
+        let _ = inbox >> pump >> unmarshal >> decode >> sink;
+        server_end
+            .bind_receiver(Some(inbox_sender), |_| {})
+            .expect("bind receiver");
+        let running_consumer = consumer.start().expect("consumer plan");
+        running_consumer.start_flow().expect("consumer start");
+
+        // Producer side: identical composition for every backend.
+        let producer = Pipeline::new(&kernel, "producer");
+        let src = producer.add_producer("file", MpegFileSource::new(GOP, N, 200.0, 400, 7));
+        let prod_pump = producer.add_pump("pump", ClockedPump::hz(200.0));
+        let marshal = producer.add_function(
+            "marshal",
+            Marshal::<media::CompressedFrame>::new("marshal").at_peer(&link.peer()),
+        );
+        let send = producer.add_net_sink("net-send", &link);
+        let _ = src >> prod_pump >> marshal >> send;
+        let running_producer = producer.start().expect("producer plan");
+        assert!(
+            running_producer
+                .report()
+                .to_string()
+                .contains(&format!("via {}", link.peer())),
+            "plan must name the transport boundary: {}",
+            running_producer.report()
+        );
+        running_producer.start_flow().expect("producer start");
+
+        // Real-time kernels on both halves: wait for frames to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while display_stats.lock().count() < N as usize && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let shown = display_stats.lock().count();
+        (shown, peer_seen)
+    };
+    kernel.shutdown();
+    result
+}
+
+/// §2.4's pluggability promise, as a test: one pipeline, three wires.
+#[test]
+fn same_pipeline_runs_over_inproc_sim_and_tcp_by_swapping_the_transport() {
+    let (shown, peer) = run_video_over(|_| InProcTransport::new(), "video-feed");
+    assert_eq!(shown, 60, "inproc transport must deliver every frame");
+    assert!(peer.starts_with("inproc://video-feed"), "{peer}");
+
+    let (shown, peer) = run_video_over(
+        |kernel| {
+            SimTransport::new(
+                kernel,
+                SimConfig {
+                    latency: Duration::from_millis(1),
+                    ..SimConfig::default()
+                },
+            )
+        },
+        "video-feed",
+    );
+    assert_eq!(shown, 60, "sim transport must deliver every frame");
+    assert!(peer.starts_with("sim://video-feed"), "{peer}");
+
+    let (shown, peer) = run_video_over(|_| TcpTransport::new(), "127.0.0.1:0");
+    assert_eq!(shown, 60, "tcp transport must deliver every frame");
+    assert!(peer.starts_with("tcp://127.0.0.1"), "{peer}");
 }

@@ -228,7 +228,11 @@ fn display_releases_decoder_reference_frames() {
         running.wait_quiescent();
         // Every reference frame the decoder retained was released by the
         // display's control events.
-        assert!(held.lock().is_empty(), "unreleased frames: {:?}", held.lock());
+        assert!(
+            held.lock().is_empty(),
+            "unreleased frames: {:?}",
+            held.lock()
+        );
     }
     kernel.shutdown();
 }

@@ -1,13 +1,18 @@
-//! Remote component creation over TCP (§2.4): a host node instantiates a
-//! consumer pipeline from its factory registry at a client's request; the
-//! client streams video into it and both sides exchange control events.
+//! Remote component creation (§2.4), transport-agnostic: a host node
+//! instantiates a consumer pipeline from its factory registry at a
+//! client's request; the client streams video into it and both sides
+//! exchange control events. The same `RemoteHost`/`RemoteClient` code
+//! runs over TCP and over the in-process transport — only the
+//! `Transport` value changes.
 
 use infopipes::{ClockedPump, ControlEvent, Pipeline, Style};
 use mbthread::{Kernel, KernelConfig};
 use media::{DecodeCost, Decoder, GopStructure, MpegFileSource, RawFrame};
-use netpipe::{ComponentRegistry, Marshal, RemoteClient, RemoteError, RemoteHost, Unmarshal};
+use netpipe::{
+    Acceptor, ComponentRegistry, InProcTransport, Marshal, PipelineTransportExt, RemoteClient,
+    RemoteError, RemoteHost, TcpTransport, Transport, Unmarshal,
+};
 use parking_lot::Mutex;
-use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,12 +22,14 @@ const GOP: GopStructure = GopStructure {
 };
 
 /// Builds the host's registry: unmarshal, decoder, and a display whose
-/// stats are observable from the test.
+/// stats are observable from the test. The unmarshaller stamps the
+/// *transport peer identity* into the flow's location — no hard-coded
+/// node strings.
 fn registry(display_stats: Arc<Mutex<media::DisplayStats>>) -> ComponentRegistry {
     let mut reg = ComponentRegistry::new();
-    reg.register("unmarshal-frame", || {
+    reg.register_with_peer("unmarshal-frame", |peer| {
         Style::Function(Box::new(
-            Unmarshal::<media::CompressedFrame>::new("unmarshal-frame").at_node("host"),
+            Unmarshal::<media::CompressedFrame>::new("unmarshal-frame").at_peer(peer),
         ))
     });
     reg.register("decoder", || {
@@ -61,9 +68,10 @@ impl infopipes::Consumer for SharedDisplay {
 }
 
 #[test]
-fn client_creates_and_feeds_a_remote_pipeline() {
-    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap();
+fn client_creates_and_feeds_a_remote_pipeline_over_tcp() {
+    let transport = TcpTransport::new();
+    let acceptor = transport.listen("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr();
 
     let display_stats = Arc::new(Mutex::new(media::DisplayStats::default()));
     let host_stats = Arc::clone(&display_stats);
@@ -72,8 +80,8 @@ fn client_creates_and_feeds_a_remote_pipeline() {
     let host_thread = std::thread::spawn(move || {
         let kernel = Kernel::new(KernelConfig::default());
         let host = RemoteHost::new("host-node", registry(host_stats));
-        let (stream, _) = listener.accept().unwrap();
-        let result = host.serve_connection(stream, &kernel);
+        let link = acceptor.accept().unwrap();
+        let result = host.serve_link(&link, &kernel);
         // Give in-flight frames a moment to drain through the pipeline.
         std::thread::sleep(Duration::from_millis(200));
         kernel.shutdown();
@@ -81,33 +89,40 @@ fn client_creates_and_feeds_a_remote_pipeline() {
     });
 
     // ---- client node ----
-    let mut client = RemoteClient::connect(addr).unwrap();
+    let mut client = RemoteClient::connect(&transport, &addr).unwrap();
     client
         .create_pipeline(&["unmarshal-frame", "decoder", "display"])
         .unwrap();
 
-    // The remote Typespec query resolves against the host-side chain.
+    // The remote Typespec query resolves against the host-side chain;
+    // the location is the client's own identity as seen by the host —
+    // the transport drove the rewrite, not a hand-written string.
     let spec = client.query_spec().unwrap();
     assert!(spec.item.contains("RawFrame"), "{spec:?}");
-    assert_eq!(spec.location.as_deref(), Some("host"));
+    let location = spec.location.as_deref().unwrap_or_default();
+    assert!(
+        location.starts_with("tcp://127.0.0.1"),
+        "location must be the transport peer identity, got {location:?}"
+    );
 
-    let send_end = client.send_end("net-send").unwrap();
     let events_seen = Arc::new(Mutex::new(Vec::new()));
     let events_seen2 = Arc::clone(&events_seen);
-    let _reader = client.spawn_event_reader(move |ev| {
-        events_seen2.lock().push(ev);
-    });
+    client
+        .spawn_event_reader(move |ev| {
+            events_seen2.lock().push(ev);
+        })
+        .unwrap();
 
-    // Local producer pipeline feeding the socket.
+    // Local producer pipeline feeding the link.
     let kernel = Kernel::new(KernelConfig::default());
     let producer = Pipeline::new(&kernel, "producer");
     let src = producer.add_producer("file", MpegFileSource::new(GOP, 45, 200.0, 400, 77));
     let pump = producer.add_pump("pump", ClockedPump::hz(200.0));
     let marshal = producer.add_function(
         "marshal",
-        Marshal::<media::CompressedFrame>::new("marshal").at_node("client"),
+        Marshal::<media::CompressedFrame>::new("marshal").at_peer(&client.peer()),
     );
-    let send = producer.add_consumer("send", send_end);
+    let send = producer.add_net_sink("net-send", client.link());
     let _ = src >> pump >> marshal >> send;
     let running = producer.start().unwrap();
     running.start_flow().unwrap();
@@ -127,13 +142,13 @@ fn client_creates_and_feeds_a_remote_pipeline() {
     // forwarded back to the client.
     let ev_deadline = std::time::Instant::now() + Duration::from_secs(10);
     while std::time::Instant::now() < ev_deadline {
-        if events_seen.lock().iter().any(|e| *e == ControlEvent::Eos) {
+        if events_seen.lock().contains(&ControlEvent::Eos) {
             break;
         }
         std::thread::sleep(Duration::from_millis(20));
     }
     assert!(
-        events_seen.lock().iter().any(|e| *e == ControlEvent::Eos),
+        events_seen.lock().contains(&ControlEvent::Eos),
         "host-side EOS must reach the client: {:?}",
         events_seen.lock()
     );
@@ -143,19 +158,22 @@ fn client_creates_and_feeds_a_remote_pipeline() {
 }
 
 #[test]
-fn unknown_component_is_refused() {
-    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap();
+fn unknown_component_is_refused_over_inproc() {
+    // The factory protocol itself is transport-agnostic: the refusal
+    // path runs over the in-process backend with the same code.
+    let transport = InProcTransport::new();
+    let acceptor = transport.listen("factory").unwrap();
+
     let host_thread = std::thread::spawn(move || {
         let kernel = Kernel::new(KernelConfig::default());
         let host = RemoteHost::new("host-node", ComponentRegistry::new());
-        let (stream, _) = listener.accept().unwrap();
-        let result = host.serve_connection(stream, &kernel);
+        let link = acceptor.accept().unwrap();
+        let result = host.serve_link(&link, &kernel);
         kernel.shutdown();
         result
     });
 
-    let mut client = RemoteClient::connect(addr).unwrap();
+    let mut client = RemoteClient::connect(&transport, "factory").unwrap();
     let err = client.create_pipeline(&["nope"]).unwrap_err();
     assert!(matches!(err, RemoteError::Refused(_)), "{err:?}");
     assert!(host_thread.join().unwrap().is_err());
