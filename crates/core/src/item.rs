@@ -1,6 +1,7 @@
 //! Information items: the type-erased data units flowing through a
 //! pipeline.
 
+use crate::payload::PayloadBytes;
 use mbthread::Time;
 use std::any::Any;
 use std::fmt;
@@ -16,6 +17,16 @@ pub struct Meta {
 
 type Cloner = fn(&(dyn Any + Send)) -> Option<Box<dyn Any + Send>>;
 
+/// The two payload representations: the general boxed `Any`, and the
+/// first-class [`PayloadBytes`] fast path. Keeping bytes out of the box
+/// means creating a bytes item performs no allocation beyond the shared
+/// buffer itself, and duplicating one (multicast tees) is a refcount
+/// bump rather than a deep clone.
+enum Payload {
+    Any(Box<dyn Any + Send>),
+    Bytes(PayloadBytes),
+}
+
 /// A single unit of information flowing through an Infopipe: a type-erased
 /// payload plus [`Meta`].
 ///
@@ -24,9 +35,14 @@ type Cloner = fn(&(dyn Any + Send)) -> Option<Box<dyn Any + Send>>;
 /// `TypeId`s), so a well-typed pipeline never sees a failing downcast.
 ///
 /// Items created with [`Item::cloneable`] can be duplicated by multicast
-/// tees; items created with [`Item::new`] cannot.
+/// tees; items created with [`Item::new`] cannot. Items created with
+/// [`Item::bytes`] carry a shared byte buffer and are always duplicable
+/// — the duplicate shares the allocation (zero-copy). The typed
+/// accessors ([`Item::is`], [`Item::payload_ref`], [`Item::into_payload`],
+/// …) treat a bytes item exactly like an item holding a `PayloadBytes`
+/// value, so stages need not know which representation they received.
 pub struct Item {
-    payload: Box<dyn Any + Send>,
+    payload: Payload,
     cloner: Option<Cloner>,
     /// Metadata travelling with the payload.
     pub meta: Meta,
@@ -37,7 +53,7 @@ impl Item {
     #[must_use]
     pub fn new<T: Any + Send>(payload: T) -> Item {
         Item {
-            payload: Box::new(payload),
+            payload: Payload::Any(Box::new(payload)),
             cloner: None,
             meta: Meta::default(),
         }
@@ -52,8 +68,20 @@ impl Item {
                 .map(|v| Box::new(v.clone()) as Box<dyn Any + Send>)
         }
         Item {
-            payload: Box::new(payload),
+            payload: Payload::Any(Box::new(payload)),
             cloner: Some(clone_impl::<T>),
+            meta: Meta::default(),
+        }
+    }
+
+    /// Wraps a shared byte buffer on the zero-copy fast path: no box
+    /// allocation, and [`Item::try_clone`] shares the buffer instead of
+    /// copying it.
+    #[must_use]
+    pub fn bytes(payload: impl Into<PayloadBytes>) -> Item {
+        Item {
+            payload: Payload::Bytes(payload.into()),
+            cloner: None,
             meta: Meta::default(),
         }
     }
@@ -75,19 +103,42 @@ impl Item {
     /// Whether the payload is a `T`.
     #[must_use]
     pub fn is<T: Any>(&self) -> bool {
-        self.payload.is::<T>()
+        match &self.payload {
+            Payload::Any(b) => b.as_ref().is::<T>(),
+            Payload::Bytes(p) => (p as &dyn Any).is::<T>(),
+        }
     }
 
     /// Borrows the payload as `T`.
     #[must_use]
     pub fn payload_ref<T: Any>(&self) -> Option<&T> {
-        self.payload.downcast_ref::<T>()
+        match &self.payload {
+            Payload::Any(b) => b.as_ref().downcast_ref::<T>(),
+            Payload::Bytes(p) => (p as &dyn Any).downcast_ref::<T>(),
+        }
     }
 
     /// Mutably borrows the payload as `T`.
+    ///
+    /// Note that a bytes item ([`Item::bytes`]) hands out `&mut
+    /// PayloadBytes` — the *handle* is mutable (it can be re-pointed or
+    /// sliced), but the shared bytes behind it remain immutable.
     #[must_use]
     pub fn payload_mut<T: Any>(&mut self) -> Option<&mut T> {
-        self.payload.downcast_mut::<T>()
+        match &mut self.payload {
+            Payload::Any(b) => b.as_mut().downcast_mut::<T>(),
+            Payload::Bytes(p) => (p as &mut dyn Any).downcast_mut::<T>(),
+        }
+    }
+
+    /// Borrows the payload as a shared byte buffer, if this item is on
+    /// the bytes fast path.
+    #[must_use]
+    pub fn as_payload_bytes(&self) -> Option<&PayloadBytes> {
+        match &self.payload {
+            Payload::Bytes(p) => Some(p),
+            Payload::Any(b) => b.as_ref().downcast_ref::<PayloadBytes>(),
+        }
     }
 
     /// Consumes the item, extracting the payload.
@@ -98,13 +149,30 @@ impl Item {
     pub fn into_payload<T: Any>(self) -> Result<(T, Meta), Item> {
         let meta = self.meta;
         let cloner = self.cloner;
-        match self.payload.downcast::<T>() {
-            Ok(b) => Ok((*b, meta)),
-            Err(payload) => Err(Item {
-                payload,
-                cloner,
-                meta,
-            }),
+        match self.payload {
+            Payload::Any(payload) => match payload.downcast::<T>() {
+                Ok(b) => Ok((*b, meta)),
+                Err(payload) => Err(Item {
+                    payload: Payload::Any(payload),
+                    cloner,
+                    meta,
+                }),
+            },
+            Payload::Bytes(p) => {
+                // Move the buffer out without boxing when `T` is
+                // `PayloadBytes` itself (this runs per frame on the data
+                // path, so no allocation is allowed here); anything else
+                // is a type mismatch.
+                let mut slot = Some(p);
+                match (&mut slot as &mut dyn Any).downcast_mut::<Option<T>>() {
+                    Some(t) => Ok((t.take().expect("slot holds the payload"), meta)),
+                    None => Err(Item {
+                        payload: Payload::Bytes(slot.take().expect("slot holds the payload")),
+                        cloner,
+                        meta,
+                    }),
+                }
+            }
         }
     }
 
@@ -130,15 +198,18 @@ impl Item {
     /// Whether this item supports duplication.
     #[must_use]
     pub fn is_cloneable(&self) -> bool {
-        self.cloner.is_some()
+        matches!(self.payload, Payload::Bytes(_)) || self.cloner.is_some()
     }
 
     /// Duplicates the item (payload, meta, and cloneability); `None` if the
-    /// payload was wrapped with [`Item::new`].
+    /// payload was wrapped with [`Item::new`]. Bytes items duplicate by
+    /// refcount — the copies share one allocation.
     #[must_use]
     pub fn try_clone(&self) -> Option<Item> {
-        let cloner = self.cloner?;
-        let payload = cloner(self.payload.as_ref())?;
+        let payload = match &self.payload {
+            Payload::Bytes(p) => Payload::Bytes(p.clone()),
+            Payload::Any(b) => Payload::Any(self.cloner?(b.as_ref())?),
+        };
         Some(Item {
             payload,
             cloner: self.cloner,
@@ -153,6 +224,7 @@ impl fmt::Debug for Item {
             .field("seq", &self.meta.seq)
             .field("ts", &self.meta.ts)
             .field("cloneable", &self.is_cloneable())
+            .field("bytes", &matches!(self.payload, Payload::Bytes(_)))
             .finish()
     }
 }
@@ -200,6 +272,45 @@ mod tests {
         let item = Item::new(5u32);
         assert!(!item.is_cloneable());
         assert!(item.try_clone().is_none());
+    }
+
+    #[test]
+    fn bytes_items_behave_like_typed_payload_bytes() {
+        let buf = PayloadBytes::from_vec(vec![1, 2, 3]);
+        let item = Item::bytes(buf.clone()).with_seq(4);
+        assert!(item.is::<PayloadBytes>());
+        assert!(!item.is::<Vec<u8>>());
+        assert_eq!(item.payload_ref::<PayloadBytes>().unwrap().len(), 3);
+        assert_eq!(item.as_payload_bytes().unwrap().as_ptr(), buf.as_ptr());
+        let wrong = item.into_payload::<String>().unwrap_err();
+        assert_eq!(wrong.meta.seq, 4, "meta survives the failed extraction");
+        let (back, meta) = wrong.into_payload::<PayloadBytes>().unwrap();
+        assert_eq!(meta.seq, 4);
+        assert_eq!(back.as_ptr(), buf.as_ptr(), "no copy through the item");
+    }
+
+    #[test]
+    fn bytes_items_clone_by_refcount() {
+        let buf = PayloadBytes::from_vec(vec![9; 1024]);
+        let item = Item::bytes(buf.clone()).with_seq(1);
+        assert!(item.is_cloneable(), "bytes items are always duplicable");
+        let dup = item.try_clone().unwrap();
+        assert!(dup.is_cloneable());
+        assert_eq!(dup.meta, item.meta);
+        let d = dup.expect::<PayloadBytes>();
+        assert_eq!(d.as_ptr(), buf.as_ptr(), "tee duplication must not copy");
+        assert!(d.shares_allocation_with(&buf));
+    }
+
+    #[test]
+    fn cloneable_payload_bytes_values_also_share() {
+        // Even without the fast path, a PayloadBytes wrapped via
+        // `cloneable` duplicates by refcount because its Clone is shallow.
+        let buf = PayloadBytes::from_vec(vec![5; 16]);
+        let item = Item::cloneable(buf.clone());
+        assert_eq!(item.as_payload_bytes().unwrap().as_ptr(), buf.as_ptr());
+        let dup = item.try_clone().unwrap();
+        assert_eq!(dup.expect::<PayloadBytes>().as_ptr(), buf.as_ptr());
     }
 
     #[test]

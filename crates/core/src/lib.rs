@@ -62,6 +62,7 @@ mod error;
 mod events;
 mod graph;
 mod item;
+mod payload;
 pub mod plan;
 mod pump;
 mod runtime;
@@ -75,6 +76,7 @@ pub use error::PipeError;
 pub use events::ControlEvent;
 pub use graph::{InboxSender, Node, NodeId, Pipeline};
 pub use item::{Item, Meta};
+pub use payload::PayloadBytes;
 pub use plan::{Exec, Mode, PlanReport, SectionReport, StagePlacement};
 pub use pump::{ClockedPump, CycleOutcome, FreePump, Pump, Schedule};
 pub use runtime::{EventCtx, EventSubscription, RunningPipeline, StageCtx};

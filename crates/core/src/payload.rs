@@ -1,0 +1,402 @@
+//! `PayloadBytes`: the shared, cheaply-cloneable byte buffer carried on
+//! the data path from producer to wire.
+//!
+//! Every lane crossing in the middleware — multicast tees, marshalling
+//! filters, transport queues, fragmenters — used to deep-copy its byte
+//! payloads. `PayloadBytes` replaces those copies with reference
+//! counting: the buffer is an `Arc<[u8]>`, a clone bumps the refcount,
+//! and [`PayloadBytes::slice`] produces a view that *shares the parent
+//! allocation* instead of allocating a fragment of its own.
+//!
+//! # Zero-copy invariants
+//!
+//! 1. **Sealing is the only copy.** Building a `PayloadBytes` from a
+//!    `Vec<u8>` moves the bytes into the shared allocation once
+//!    (`From<Vec<u8>>`). After sealing, no middleware layer copies the
+//!    bytes again: clones and slices are refcount operations, observable
+//!    through pointer identity ([`PayloadBytes::as_ptr`]).
+//! 2. **Payloads are immutable.** There is no `&mut [u8]` accessor; a
+//!    buffer reachable from two items can never change underneath either
+//!    of them. Transports may therefore transmit a frame while the
+//!    producer still holds a clone — what the producer sent is what the
+//!    wire carries (asserted by the conformance suite's
+//!    immutability-after-send property).
+//! 3. **Slices keep parents alive, not vice versa.** A slice holds a
+//!    refcount on the whole parent allocation; dropping the parent item
+//!    does not invalidate fragments. (The flip side — a tiny slice
+//!    pinning a large buffer — is the standard shared-buffer trade-off;
+//!    [`PayloadBytes::to_vec`] detaches when that matters.)
+//!
+//! The equality, ordering, and hashing of `PayloadBytes` follow the
+//! *bytes in view*, not the identity of the backing allocation: two
+//! buffers with equal contents compare equal even when they do not share
+//! memory, and aliasing slices of different ranges compare unequal.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable byte buffer backed by a shared
+/// `Arc<[u8]>` allocation, with zero-copy slicing.
+///
+/// See the [module docs](self) for the zero-copy invariants. The empty
+/// buffer is special-cased to a shared static allocation, so
+/// `PayloadBytes::default()` never allocates.
+#[derive(Clone)]
+pub struct PayloadBytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl PayloadBytes {
+    /// The empty buffer: a view of one process-wide shared allocation,
+    /// so constructing it never allocates.
+    #[must_use]
+    pub fn new() -> PayloadBytes {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
+        PayloadBytes {
+            buf: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Seals a `Vec` into a shared buffer. This is the single copying
+    /// step of the payload path (invariant 1).
+    #[must_use]
+    pub fn from_vec(v: Vec<u8>) -> PayloadBytes {
+        let len = v.len();
+        PayloadBytes {
+            buf: Arc::from(v),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copies a slice into a fresh shared buffer.
+    #[must_use]
+    pub fn copy_from_slice(s: &[u8]) -> PayloadBytes {
+        PayloadBytes {
+            buf: Arc::from(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Length of the viewed bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Address of the first viewed byte. Stable across clones and
+    /// crossings — pointer equality is how the test suite proves a path
+    /// performed zero copies.
+    #[must_use]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    /// A sub-view sharing this buffer's allocation (no copy). `range` is
+    /// relative to this view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, mirroring slice
+    /// indexing.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> PayloadBytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for PayloadBytes of len {}",
+            self.len
+        );
+        PayloadBytes {
+            buf: Arc::clone(&self.buf),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits the view into consecutive chunks of at most `chunk` bytes,
+    /// each sharing this buffer's allocation. An empty view yields one
+    /// empty chunk (so framing layers emit a frame even for empty
+    /// payloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunks_shared(&self, chunk: usize) -> impl Iterator<Item = PayloadBytes> + '_ {
+        assert!(chunk > 0, "chunk size must be positive");
+        let count = if self.len == 0 {
+            1
+        } else {
+            self.len.div_ceil(chunk)
+        };
+        (0..count).map(move |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(self.len);
+            self.slice(start..end)
+        })
+    }
+
+    /// Whether `self` and `other` are views into the same allocation
+    /// (regardless of range). True after any zero-copy crossing.
+    #[must_use]
+    pub fn shares_allocation_with(&self, other: &PayloadBytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+
+    /// Number of live views of the backing allocation.
+    #[must_use]
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// Detaches the viewed bytes into an owned `Vec` (a copy; use only
+    /// when leaving the zero-copy path, e.g. to stop a small slice from
+    /// pinning a large parent buffer).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for PayloadBytes {
+    fn default() -> Self {
+        PayloadBytes::new()
+    }
+}
+
+impl Deref for PayloadBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PayloadBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PayloadBytes {
+    fn from(v: Vec<u8>) -> PayloadBytes {
+        PayloadBytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for PayloadBytes {
+    fn from(s: &[u8]) -> PayloadBytes {
+        PayloadBytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for PayloadBytes {
+    fn from(a: [u8; N]) -> PayloadBytes {
+        PayloadBytes::copy_from_slice(&a)
+    }
+}
+
+impl FromIterator<u8> for PayloadBytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> PayloadBytes {
+        PayloadBytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq for PayloadBytes {
+    fn eq(&self, other: &PayloadBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PayloadBytes {}
+
+impl PartialEq<[u8]> for PayloadBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for PayloadBytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Serializes as raw bytes — on the netpipe wire codec this is
+/// byte-identical to a `Vec<u8>` field (u32 length + raw bytes), so
+/// switching a struct's payload field between the two is not a wire
+/// format change.
+impl serde::Serialize for PayloadBytes {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self.as_slice())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for PayloadBytes {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+
+        impl<'de> serde::de::Visitor<'de> for BytesVisitor {
+            type Value = PayloadBytes;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a byte buffer")
+            }
+
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<PayloadBytes, E> {
+                Ok(PayloadBytes::copy_from_slice(v))
+            }
+
+            fn visit_byte_buf<E: serde::de::Error>(self, v: Vec<u8>) -> Result<PayloadBytes, E> {
+                Ok(PayloadBytes::from_vec(v))
+            }
+
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<PayloadBytes, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(b) = seq.next_element::<u8>()? {
+                    out.push(b);
+                }
+                Ok(PayloadBytes::from_vec(out))
+            }
+        }
+
+        deserializer.deserialize_byte_buf(BytesVisitor)
+    }
+}
+
+impl fmt::Debug for PayloadBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PayloadBytes({} B, refs {}, @{:p})",
+            self.len,
+            self.ref_count(),
+            self.as_ptr()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealing_and_views() {
+        let p = PayloadBytes::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(p.len(), 5);
+        assert_eq!(&p[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(p, vec![1u8, 2, 3, 4, 5]);
+        assert!(!p.is_empty());
+        assert!(PayloadBytes::new().is_empty());
+        assert_eq!(PayloadBytes::default().len(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let p = PayloadBytes::from_vec(vec![9; 64]);
+        let q = p.clone();
+        assert!(p.shares_allocation_with(&q));
+        assert_eq!(p.as_ptr(), q.as_ptr());
+        assert_eq!(p.ref_count(), 2);
+    }
+
+    #[test]
+    fn slices_share_and_nest() {
+        let p = PayloadBytes::from_vec((0..100).collect());
+        let s = p.slice(10..40);
+        assert_eq!(s.len(), 30);
+        assert_eq!(s[0], 10);
+        assert!(s.shares_allocation_with(&p));
+        assert_eq!(s.as_ptr(), unsafe { p.as_ptr().add(10) });
+        // A slice of a slice is relative to the child view.
+        let s2 = s.slice(5..=6);
+        assert_eq!(&s2[..], &[15, 16]);
+        assert!(s2.shares_allocation_with(&p));
+        // Unbounded forms.
+        assert_eq!(s.slice(..).len(), 30);
+        assert_eq!(s.slice(25..).len(), 5);
+        assert_eq!(s.slice(..5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = PayloadBytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn chunks_share_and_cover() {
+        let p = PayloadBytes::from_vec((0..10).collect());
+        let chunks: Vec<PayloadBytes> = p.chunks_shared(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(&chunks[0][..], &[0, 1, 2, 3]);
+        assert_eq!(&chunks[2][..], &[8, 9]);
+        assert!(chunks.iter().all(|c| c.shares_allocation_with(&p)));
+        // Empty payloads still produce one (empty) chunk.
+        let empty: Vec<PayloadBytes> = PayloadBytes::new().chunks_shared(4).collect();
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].is_empty());
+    }
+
+    #[test]
+    fn equality_is_by_content_not_identity() {
+        let a = PayloadBytes::from_vec(vec![1, 2, 3]);
+        let b = PayloadBytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.shares_allocation_with(&b));
+        assert_ne!(a, a.slice(0..2));
+        assert_eq!(a.slice(0..2), b.slice(0..2));
+    }
+
+    #[test]
+    fn detaching_copies() {
+        let p = PayloadBytes::from_vec(vec![7; 8]);
+        let v = p.slice(2..4).to_vec();
+        assert_eq!(v, vec![7, 7]);
+        assert_ne!(v.as_ptr(), p.slice(2..4).as_ptr());
+    }
+
+    #[test]
+    fn debug_shows_len_and_refs() {
+        let p = PayloadBytes::from_vec(vec![0; 3]);
+        let s = format!("{p:?}");
+        assert!(s.contains("3 B"), "{s}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the zero-copy payload buffer: slicing must agree
+//! with plain slice indexing, views must alias the parent allocation,
+//! and no sequence of sharing operations may disturb the bytes.
+
+use infopipes::PayloadBytes;
+use proptest::prelude::*;
+
+/// An arbitrary buffer plus an arbitrary valid subrange of it.
+fn buf_and_range() -> impl Strategy<Value = (Vec<u8>, usize, usize)> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..256),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(v, a, b)| {
+            let len = v.len();
+            let (a, b) = ((a as usize) % (len + 1), (b as usize) % (len + 1));
+            (v, a.min(b), a.max(b))
+        })
+}
+
+proptest! {
+    /// `slice` is observationally identical to slice indexing.
+    #[test]
+    fn slicing_matches_indexing((v, start, end) in buf_and_range()) {
+        let p = PayloadBytes::from_vec(v.clone());
+        let s = p.slice(start..end);
+        prop_assert_eq!(s.as_slice(), &v[start..end]);
+        prop_assert_eq!(s.len(), end - start);
+        prop_assert_eq!(s.is_empty(), start == end);
+    }
+
+    /// Every slice aliases its parent allocation at the right offset —
+    /// slicing never copies.
+    #[test]
+    fn slices_alias_the_parent((v, start, end) in buf_and_range()) {
+        let p = PayloadBytes::from_vec(v);
+        let s = p.slice(start..end);
+        prop_assert!(s.shares_allocation_with(&p));
+        if !s.is_empty() {
+            prop_assert_eq!(s.as_ptr() as usize, p.as_ptr() as usize + start);
+        }
+        // The parent gained exactly one additional view.
+        prop_assert_eq!(p.ref_count(), 2);
+    }
+
+    /// Nested slicing composes like range arithmetic: a slice of a slice
+    /// is the corresponding slice of the parent, still aliased.
+    #[test]
+    fn nested_slices_compose(
+        (v, start, end) in buf_and_range(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let inner_len = end - start;
+        let (a, b) = ((a as usize) % (inner_len + 1), (b as usize) % (inner_len + 1));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let p = PayloadBytes::from_vec(v);
+        let nested = p.slice(start..end).slice(lo..hi);
+        let direct = p.slice(start + lo..start + hi);
+        prop_assert_eq!(&nested, &direct);
+        prop_assert!(nested.shares_allocation_with(&p));
+        if !nested.is_empty() {
+            prop_assert_eq!(nested.as_ptr(), direct.as_ptr());
+        }
+    }
+
+    /// Chunking covers the buffer exactly, in order, with every chunk an
+    /// aliased view of at most the requested size.
+    #[test]
+    fn chunks_cover_and_alias(
+        v in proptest::collection::vec(any::<u8>(), 0..256),
+        mtu in 1usize..64,
+    ) {
+        let p = PayloadBytes::from_vec(v.clone());
+        let chunks: Vec<PayloadBytes> = p.chunks_shared(mtu).collect();
+        let expected = if v.is_empty() { 1 } else { v.len().div_ceil(mtu) };
+        prop_assert_eq!(chunks.len(), expected);
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            prop_assert!(c.len() <= mtu);
+            prop_assert!(c.shares_allocation_with(&p), "chunks must not copy");
+            rebuilt.extend_from_slice(c);
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    /// Clones are pointer-identical views; content equality is by bytes,
+    /// not identity; and no amount of sharing disturbs the payload.
+    #[test]
+    fn sharing_never_mutates((v, start, end) in buf_and_range()) {
+        let p = PayloadBytes::from_vec(v.clone());
+        let c = p.clone();
+        prop_assert_eq!(c.as_ptr(), p.as_ptr());
+        prop_assert_eq!(&c, &p);
+        // An independent re-seal of the same bytes is equal but disjoint.
+        let other = PayloadBytes::copy_from_slice(&v);
+        prop_assert_eq!(&other, &p);
+        prop_assert!(!other.shares_allocation_with(&p));
+        // Exercise sharing operations, then check the original bytes.
+        let s = c.slice(start..end);
+        let _detached = s.to_vec();
+        drop(s);
+        drop(c);
+        prop_assert_eq!(p.as_slice(), v.as_slice());
+    }
+}

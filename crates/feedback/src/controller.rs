@@ -117,6 +117,84 @@ impl Controller for DropLevelController {
     }
 }
 
+/// A drop-level policy driven by **send-side transport backpressure**:
+/// it watches the saturation fraction a
+/// [`NetSendEnd`](../netpipe/struct.NetSendEnd.html) broadcasts (the
+/// share of sends in a window the link reported `Saturated` or
+/// `Dropped`, under the reading name `net-send-saturation`) and steers
+/// a producer-side [`PriorityDropFilter`](../media/struct.PriorityDropFilter.html).
+///
+/// This is the complement of [`DropLevelController`]: that one senses
+/// the *receive* rate on the far side of the congested link (a
+/// round-trip-delayed signal), while this one reacts to the congestion
+/// where it first becomes visible — the transport refusing or shedding
+/// frames at the send end. The two compose: run both and the drop level
+/// follows whichever signal trips first.
+pub struct CongestionDropController {
+    reading_name: String,
+    level: u8,
+    max_level: u8,
+    /// Raise the level when the window's saturation fraction is at or
+    /// above this value.
+    pub raise_at: f64,
+    /// Lower the level when the fraction is at or below this value.
+    pub lower_at: f64,
+    /// Consecutive calm windows required before lowering (hysteresis).
+    pub patience: u32,
+    calm_windows: u32,
+}
+
+impl CongestionDropController {
+    /// Creates a controller watching `reading_name` (use
+    /// `netpipe::SEND_SATURATION_READING` to pair with a default
+    /// `NetSendEnd`).
+    #[must_use]
+    pub fn new(reading_name: impl Into<String>) -> CongestionDropController {
+        CongestionDropController {
+            reading_name: reading_name.into(),
+            level: 0,
+            max_level: 2,
+            raise_at: 0.5,
+            lower_at: 0.0,
+            patience: 3,
+            calm_windows: 0,
+        }
+    }
+
+    /// The current drop level.
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+}
+
+impl Controller for CongestionDropController {
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent> {
+        if reading.name != self.reading_name {
+            return None;
+        }
+        if reading.value >= self.raise_at {
+            self.calm_windows = 0;
+            if self.level < self.max_level {
+                self.level += 1;
+                return Some(ControlEvent::SetDropLevel(self.level));
+            }
+            return None;
+        }
+        if reading.value <= self.lower_at && self.level > 0 {
+            self.calm_windows += 1;
+            if self.calm_windows >= self.patience {
+                self.calm_windows = 0;
+                self.level -= 1;
+                return Some(ControlEvent::SetDropLevel(self.level));
+            }
+        } else {
+            self.calm_windows = 0;
+        }
+        None
+    }
+}
+
 /// A proportional rate controller: nudges a pump's rate to hold a buffer
 /// at a target fill level (the real-rate allocator of ref [27], reduced
 /// to its proportional term).
@@ -241,6 +319,37 @@ mod tests {
             Some(ControlEvent::SetRate(r)) => assert!((r - 7.5).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn congestion_controller_reacts_to_send_side_backpressure() {
+        let mut c = CongestionDropController::new("net-send-saturation");
+        // Calm link: nothing to do.
+        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        // Half the window saturated: raise.
+        assert_eq!(
+            c.observe(&reading("net-send-saturation", 0.5)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        // Still saturated: raise to the cap and stay there.
+        assert_eq!(
+            c.observe(&reading("net-send-saturation", 1.0)),
+            Some(ControlEvent::SetDropLevel(2))
+        );
+        assert_eq!(c.observe(&reading("net-send-saturation", 1.0)), None);
+        assert_eq!(c.level(), 2);
+        // Recovery needs `patience` fully calm windows; a mildly
+        // pressured window resets the count without raising.
+        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        assert_eq!(c.observe(&reading("net-send-saturation", 0.2)), None);
+        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        assert_eq!(
+            c.observe(&reading("net-send-saturation", 0.0)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        // Other readings are ignored.
+        assert_eq!(c.observe(&reading("recv-rate-hz", 0.9)), None);
     }
 
     #[test]

@@ -14,7 +14,9 @@ mod drift;
 mod loopctl;
 mod sensor;
 
-pub use controller::{Controller, DropLevelController, ProportionalRateController};
+pub use controller::{
+    CongestionDropController, Controller, DropLevelController, ProportionalRateController,
+};
 pub use drift::DriftEstimator;
 pub use loopctl::{FeedbackLoop, LoopStats};
 pub use sensor::{FillLevelSensor, RateSensor, SensorReading};

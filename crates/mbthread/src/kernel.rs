@@ -227,6 +227,41 @@ impl Kernel {
         ExternalPort::new(self.clone(), id)
     }
 
+    /// Raises a **construction barrier**: until the returned
+    /// [`ClockHold`] is [released](ClockHold::release) (or dropped), the
+    /// virtual clock will not jump to a timer deadline.
+    ///
+    /// This closes the virtual-clock construction race: a program that
+    /// arms timers while an external thread is still spawning kernel
+    /// threads would otherwise see the clock leap to the first deadline
+    /// *between* spawns, making traces depend on how fast the spawning
+    /// thread runs. Freeze the clock first, build the whole program,
+    /// then release — every timer armed during construction fires
+    /// relative to the same t=0 anchor, no matter how slowly the
+    /// external thread assembled things. (The pipeline layer's explicit
+    /// `start_flow` barrier is the same idea one level up; this makes
+    /// raw mbthread programs deterministic by default.)
+    ///
+    /// Holds nest: the clock stays frozen until every hold is released.
+    /// Under the real clock this is a no-op (wall time cannot be held
+    /// back). Threads keep running and messages keep flowing while the
+    /// clock is frozen — only the idle-time jump is gated.
+    ///
+    /// Do not call [`Kernel::wait_quiescent`] while a hold is alive and
+    /// a timer is armed: quiescence then requires the very clock jump
+    /// the hold forbids, so the wait cannot complete until the hold is
+    /// released. Release first, then wait.
+    pub fn freeze_clock(&self) -> ClockHold {
+        {
+            let mut state = self.inner.state.lock();
+            state.clock_holds += 1;
+        }
+        ClockHold {
+            kernel: self.clone(),
+            released: false,
+        }
+    }
+
     /// Blocks the calling (non-kernel) thread until the kernel is idle: no
     /// thread running or runnable and no pending timer. Under the virtual
     /// clock this means all work that can happen has happened.
@@ -314,6 +349,49 @@ impl Kernel {
     }
 }
 
+/// An active construction barrier from [`Kernel::freeze_clock`]: the
+/// virtual clock cannot jump to a timer deadline while this (or any
+/// other hold) is alive. Released explicitly with [`ClockHold::release`]
+/// or implicitly on drop.
+#[must_use = "the clock unfreezes when the hold is dropped"]
+pub struct ClockHold {
+    kernel: Kernel,
+    released: bool,
+}
+
+impl ClockHold {
+    /// Lowers the barrier. When the last hold is released the kernel
+    /// resumes advancing virtual time normally.
+    pub fn release(mut self) {
+        self.do_release();
+    }
+
+    fn do_release(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        let mut state = self.kernel.inner.state.lock();
+        state.clock_holds = state.clock_holds.saturating_sub(1);
+        // Wake the dispatcher so a now-permitted jump happens promptly.
+        self.kernel.inner.cv_global.notify_all();
+    }
+}
+
+impl Drop for ClockHold {
+    fn drop(&mut self) {
+        self.do_release();
+    }
+}
+
+impl fmt::Debug for ClockHold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClockHold")
+            .field("released", &self.released)
+            .finish()
+    }
+}
+
 /// Main loop of a user-level thread's backing OS thread.
 fn thread_main(inner: &Arc<KernelInner>, me: ThreadId, mut code: Box<dyn CodeFn>) {
     IS_KERNEL_THREAD.with(|c| c.set(true));
@@ -388,6 +466,14 @@ fn dispatcher_main(inner: &Arc<KernelInner>) {
             match state.next_timer_deadline() {
                 Some(at) => match inner.cfg.clock {
                     ClockMode::Virtual => {
+                        if state.clock_holds > 0 {
+                            // A construction barrier is up: the program is
+                            // still being assembled from outside, so do
+                            // not jump to the deadline — wait for the
+                            // release (or for new work) instead.
+                            inner.cv_global.wait(&mut state);
+                            continue;
+                        }
                         // Everything is blocked: jump time forward to the
                         // next deadline. This is the only place virtual
                         // time advances.

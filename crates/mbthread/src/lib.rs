@@ -78,7 +78,7 @@ pub use constraint::{Constraint, Priority};
 pub use ctx::{Ctx, PendingReply, SpawnOptions, SyncOutcome};
 pub use error::{KernelError, SendError};
 pub use external::ExternalPort;
-pub use kernel::{Kernel, KernelConfig};
+pub use kernel::{ClockHold, Kernel, KernelConfig};
 pub use message::{Body, Envelope, MatchSpec, Message, Tag};
 pub use record::{CodeFn, Flow, ThreadId};
 pub use stats::KernelStats;

@@ -25,6 +25,11 @@ pub(crate) struct KState {
     pub(crate) shutdown: bool,
     /// Current virtual time (ignored under the real clock).
     pub(crate) vnow: Time,
+    /// Active construction barriers ([`Kernel::freeze_clock`]): while
+    /// nonzero the virtual clock must not jump to a timer deadline, so a
+    /// program can finish spawning threads and arming timers from
+    /// external threads without racing the clock.
+    pub(crate) clock_holds: u32,
     pub(crate) next_thread: u64,
     pub(crate) next_token: u64,
     pub(crate) next_timer: u64,
@@ -47,6 +52,7 @@ impl KState {
             last_running: None,
             shutdown: false,
             vnow: Time::ZERO,
+            clock_holds: 0,
             next_thread: 0,
             next_token: 0,
             next_timer: 0,

@@ -135,3 +135,108 @@ fn trace_is_ordered_by_virtual_time() {
         "events must be logged in nondecreasing virtual time"
     );
 }
+
+/// The kernel-level construction barrier: timers armed directly from
+/// `on_start` — the racy pattern the GO fan-out above exists to avoid —
+/// are safe when the clock is frozen during construction, however slowly
+/// the external thread spawns.
+#[test]
+fn freeze_clock_closes_the_construction_race() {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let fires: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    struct EagerTimer {
+        fires: Arc<Mutex<Vec<u64>>>,
+    }
+    impl mbthread::CodeFn for EagerTimer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            // Armed at construction time, not behind a GO barrier.
+            let at = ctx.now() + Duration::from_millis(1);
+            let _ = ctx.set_timer(at, Message::signal(TICK), None);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) -> Flow {
+            self.fires.lock().unwrap().push(ctx.now().as_micros());
+            Flow::Stop
+        }
+    }
+
+    let hold = kernel.freeze_clock();
+    kernel
+        .spawn(
+            "eager-a",
+            EagerTimer {
+                fires: Arc::clone(&fires),
+            },
+        )
+        .unwrap();
+    // A deliberately slow external construction phase: without the
+    // barrier the kernel goes idle here and the clock jumps to the
+    // first deadline before the second thread even exists.
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(
+        kernel.now().as_micros(),
+        0,
+        "a frozen virtual clock must not advance while construction stalls"
+    );
+    kernel
+        .spawn(
+            "eager-b",
+            EagerTimer {
+                fires: Arc::clone(&fires),
+            },
+        )
+        .unwrap();
+    hold.release();
+
+    kernel.wait_quiescent();
+    kernel.shutdown();
+    assert_eq!(
+        *fires.lock().unwrap(),
+        vec![1000, 1000],
+        "both timers must fire at the same virtual instant, anchored at t=0"
+    );
+}
+
+/// Holds nest, and dropping a hold releases it: the clock stays frozen
+/// until the *last* hold is gone.
+#[test]
+fn clock_holds_nest_and_release_on_drop() {
+    let kernel = Kernel::new(KernelConfig::virtual_time());
+    let fires: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    struct OneShot {
+        fires: Arc<Mutex<Vec<u64>>>,
+    }
+    impl mbthread::CodeFn for OneShot {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let at = ctx.now() + Duration::from_millis(2);
+            let _ = ctx.set_timer(at, Message::signal(TICK), None);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _env: Envelope) -> Flow {
+            self.fires.lock().unwrap().push(ctx.now().as_micros());
+            Flow::Stop
+        }
+    }
+
+    let outer = kernel.freeze_clock();
+    let inner = kernel.freeze_clock();
+    kernel
+        .spawn(
+            "one-shot",
+            OneShot {
+                fires: Arc::clone(&fires),
+            },
+        )
+        .unwrap();
+    drop(inner); // implicit release
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        kernel.now().as_micros(),
+        0,
+        "the outer hold must still pin the clock after the inner drops"
+    );
+    outer.release();
+    kernel.wait_quiescent();
+    kernel.shutdown();
+    assert_eq!(*fires.lock().unwrap(), vec![2000]);
+}

@@ -17,8 +17,8 @@ pub struct Sample {
     pub seq: u64,
     /// Nominal playback time (microseconds of stream time).
     pub pts_us: u64,
-    /// Synthetic PCM data.
-    pub data: Vec<u8>,
+    /// Synthetic PCM data (a shared buffer; clones refcount).
+    pub data: infopipes::PayloadBytes,
 }
 
 /// A passive source producing sample blocks at a nominal block rate.

@@ -1,8 +1,13 @@
 //! Fragmentation to MTU-sized packets and reassembly, with loss
 //! tolerance: a frame missing any packet is discarded whole.
+//!
+//! Fragmentation is **zero-copy**: each [`Packet`] carries a
+//! [`PayloadBytes`] view into the parent frame's allocation
+//! ([`PayloadBytes::slice`]), so fragmenting a 100 KiB frame into MTU
+//! packets allocates packet headers only — never the payload.
 
 use crate::frame::{CompressedFrame, FrameType};
-use infopipes::{Consumer, Item, ItemType, Stage, StageCtx};
+use infopipes::{Consumer, Item, ItemType, PayloadBytes, Stage, StageCtx};
 use serde::{Deserialize, Serialize};
 use typespec::{TypeError, Typespec};
 
@@ -19,8 +24,9 @@ pub struct Packet {
     pub ftype: FrameType,
     /// Presentation timestamp of the frame.
     pub pts_us: u64,
-    /// This packet's slice of the payload.
-    pub bytes: Vec<u8>,
+    /// This packet's slice of the payload — a shared view of the parent
+    /// frame's buffer, not a copy.
+    pub bytes: PayloadBytes,
 }
 
 /// Splits compressed frames into packets of at most `mtu` payload bytes
@@ -60,11 +66,9 @@ impl Consumer for Fragmenter {
     fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
         let meta = item.meta;
         let frame = item.expect::<CompressedFrame>();
-        let chunks: Vec<&[u8]> = if frame.data.is_empty() {
-            vec![&[][..]]
-        } else {
-            frame.data.chunks(self.mtu).collect()
-        };
+        // `chunks_shared` views share the frame's allocation: the
+        // fragmenter emits N packets and zero payload copies.
+        let chunks: Vec<PayloadBytes> = frame.data.chunks_shared(self.mtu).collect();
         let count = u32::try_from(chunks.len()).unwrap_or(u32::MAX);
         for (i, chunk) in chunks.into_iter().enumerate() {
             let pkt = Packet {
@@ -73,7 +77,7 @@ impl Consumer for Fragmenter {
                 count,
                 ftype: frame.ftype,
                 pts_us: frame.pts_us,
-                bytes: chunk.to_vec(),
+                bytes: chunk,
             };
             let mut out = Item::cloneable(pkt);
             out.meta = meta;
@@ -96,7 +100,26 @@ struct PartialFrame {
     ftype: FrameType,
     pts_us: u64,
     got: u32,
-    bytes: Vec<u8>,
+    /// Received fragments, in order (shared views, not copies).
+    parts: Vec<PayloadBytes>,
+}
+
+impl PartialFrame {
+    /// Joins the fragments into one payload. A single-fragment frame is
+    /// returned as the fragment's own view (no copy); multi-fragment
+    /// frames are concatenated into one fresh buffer — the single
+    /// reassembly copy a scatter of packets fundamentally needs.
+    fn assemble(self) -> PayloadBytes {
+        if let [only] = &self.parts[..] {
+            return only.clone();
+        }
+        let total: usize = self.parts.iter().map(PayloadBytes::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in &self.parts {
+            out.extend_from_slice(p);
+        }
+        PayloadBytes::from_vec(out)
+    }
 }
 
 impl Defragmenter {
@@ -159,7 +182,7 @@ impl Consumer for Defragmenter {
                 ftype: pkt.ftype,
                 pts_us: pkt.pts_us,
                 got: 0,
-                bytes: Vec::new(),
+                parts: Vec::new(),
             });
         }
         let Some(cur) = self.current.as_mut() else {
@@ -170,7 +193,7 @@ impl Consumer for Defragmenter {
             self.flush_incomplete();
             return;
         }
-        cur.bytes.extend_from_slice(&pkt.bytes);
+        cur.parts.push(pkt.bytes);
         cur.got += 1;
         if cur.got == cur.count {
             let done = self.current.take().expect("current frame exists");
@@ -178,7 +201,7 @@ impl Consumer for Defragmenter {
                 seq: done.frame_seq,
                 pts_us: done.pts_us,
                 ftype: done.ftype,
-                data: done.bytes,
+                data: done.assemble(),
             };
             let mut out = Item::cloneable(frame);
             out.meta = meta;
@@ -280,9 +303,58 @@ mod tests {
             seq: 0,
             pts_us: 0,
             ftype: crate::FrameType::I,
-            data: Vec::new(),
+            data: infopipes::PayloadBytes::new(),
         }];
         let got = run_frag_defrag(frames.clone(), 16, |_| false);
         assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn fragments_share_the_parent_frame_allocation() {
+        // Drive the fragmenter directly and check aliasing: every packet
+        // must view the frame's buffer, at the right offset.
+        let f = frame(1, 100);
+        let parent = f.data.clone();
+        let kernel = Kernel::new(KernelConfig::virtual_time());
+        let packets = {
+            let pipeline = Pipeline::new(&kernel, "frag-alias");
+            let src = pipeline.add_producer("src", IterSource::new("src", vec![f]));
+            let pump = pipeline.add_pump("pump", FreePump::new());
+            let frag = pipeline.add_consumer("frag", Fragmenter::new(32));
+            let (sink, out) = CollectSink::<Packet>::new("sink");
+            let sink = pipeline.add_consumer("sink", sink);
+            let _ = src >> pump >> frag >> sink;
+            let running = pipeline.start().unwrap();
+            running.start_flow().unwrap();
+            running.wait_quiescent();
+            let v = out.lock().clone();
+            v
+        };
+        kernel.shutdown();
+        assert_eq!(packets.len(), 4, "100 B at MTU 32 -> 4 packets");
+        let mut offset = 0;
+        for pkt in &packets {
+            assert!(
+                pkt.bytes.shares_allocation_with(&parent),
+                "packet {} must alias the parent frame",
+                pkt.index
+            );
+            assert_eq!(pkt.bytes.as_ptr(), unsafe { parent.as_ptr().add(offset) });
+            offset += pkt.bytes.len();
+        }
+        assert_eq!(offset, 100);
+    }
+
+    #[test]
+    fn single_packet_frames_reassemble_without_copying() {
+        let frames = vec![frame(0, 10)];
+        let parent = frames[0].data.clone();
+        let got = run_frag_defrag(frames, 1000, |_| false);
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].data.as_ptr(),
+            parent.as_ptr(),
+            "one-packet frames must come back as the same allocation"
+        );
     }
 }

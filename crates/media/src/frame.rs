@@ -1,5 +1,6 @@
 //! Frame types: the items of the synthetic video flow.
 
+use infopipes::PayloadBytes;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,8 +58,10 @@ pub struct CompressedFrame {
     /// Frame class.
     pub ftype: FrameType,
     /// Compressed payload (synthetic bytes; only the size matters to the
-    /// pipeline, but the bytes are real so marshalling is honest).
-    pub data: Vec<u8>,
+    /// pipeline, but the bytes are real so marshalling is honest). A
+    /// shared buffer: cloning a frame, teeing it, or fragmenting it
+    /// shares this allocation instead of copying it.
+    pub data: PayloadBytes,
 }
 
 impl CompressedFrame {
@@ -105,9 +108,10 @@ impl fmt::Display for RawFrame {
 }
 
 /// Deterministic payload bytes for a frame: reproducible without storing
-/// real video.
+/// real video. Sealed into a shared buffer at creation, so the whole
+/// downstream path refcounts it.
 #[must_use]
-pub(crate) fn synth_payload(seq: u64, size: usize) -> Vec<u8> {
+pub(crate) fn synth_payload(seq: u64, size: usize) -> PayloadBytes {
     // A small xorshift keyed by seq: stable across runs and platforms.
     let mut state = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     (0..size)
@@ -162,7 +166,7 @@ mod tests {
             seq: 3,
             pts_us: 100,
             ftype: FrameType::P,
-            data: vec![0; 10],
+            data: vec![0; 10].into(),
         };
         assert!(f.to_string().contains("P#3"));
         assert_eq!(f.size(), 10);

@@ -7,6 +7,7 @@
 //! boundaries of their own (the simulator, in-process rings) skip it
 //! entirely and carry [`Frame`](crate::Frame) values directly.
 
+use infopipes::PayloadBytes;
 use std::io::{self, Read, Write};
 
 /// What a frame carries.
@@ -73,10 +74,14 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::R
 
 /// Reads one frame; `Ok(None)` on a clean end of stream.
 ///
+/// The payload is read into one buffer and sealed as [`PayloadBytes`]
+/// directly: the receive side performs a single read-time copy off the
+/// stream (unavoidable with real I/O) and none after it.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects malformed kinds and oversized lengths.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>> {
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, PayloadBytes)>> {
     let mut kind_byte = [0u8; 1];
     match r.read_exact(&mut kind_byte) {
         Ok(()) => {}
@@ -95,7 +100,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>>
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(Some((kind, payload)))
+    Ok(Some((kind, PayloadBytes::from_vec(payload))))
 }
 
 #[cfg(test)]
@@ -113,15 +118,15 @@ mod tests {
         let mut cur = Cursor::new(buf);
         assert_eq!(
             read_frame(&mut cur).unwrap(),
-            Some((FrameKind::Data, b"hello".to_vec()))
+            Some((FrameKind::Data, PayloadBytes::from(&b"hello"[..])))
         );
         assert_eq!(
             read_frame(&mut cur).unwrap(),
-            Some((FrameKind::Event, Vec::new()))
+            Some((FrameKind::Event, PayloadBytes::new()))
         );
         assert_eq!(
             read_frame(&mut cur).unwrap(),
-            Some((FrameKind::Fin, Vec::new()))
+            Some((FrameKind::Fin, PayloadBytes::new()))
         );
         assert_eq!(read_frame(&mut cur).unwrap(), None);
     }

@@ -9,7 +9,10 @@
 //! This crate provides, layer by layer:
 //!
 //! * a from-scratch binary **wire codec** ([`wire`]) implementing serde's
-//!   `Serializer`/`Deserializer`,
+//!   `Serializer`/`Deserializer`; [`wire::to_payload`] seals a message
+//!   into one shared [`PayloadBytes`] buffer — the start of the
+//!   **zero-copy payload path**: every later crossing (tees, transports,
+//!   framing) shares that allocation by refcount instead of copying it,
 //! * **marshalling filters** ([`Marshal`], [`Unmarshal`]) between typed
 //!   items and [`WireBytes`], which also rewrite the Typespec *location*
 //!   property — the only components allowed to (§2.4). The rewrite is
@@ -19,12 +22,17 @@
 //! * a **pluggable transport layer** ([`transport`]): one [`Transport`]
 //!   trait — connect/listen, frame-level sends with a backpressure
 //!   signal, a prioritized control-event lane, link statistics — with
-//!   three interchangeable backends:
-//!   [`InProcTransport`] (lock-free in-process channel),
-//!   [`SimTransport`] (simulated latency/bandwidth/jitter/loss,
-//!   deterministic under virtual time — the Fig. 1 congested network),
-//!   and [`TcpTransport`] (real sockets). [`NetSendEnd`] is the one
-//!   generic producer-side pipeline stage serving every backend, and
+//!   four interchangeable backends:
+//!   [`InProcTransport`] (lock-free in-process channel, allocation-free
+//!   per send), [`SimTransport`] (simulated
+//!   latency/bandwidth/jitter/loss, deterministic under virtual time —
+//!   the Fig. 1 congested network), [`TcpTransport`] (real sockets),
+//!   and [`UdpTransport`] (real sockets, lossy datagrams). All four
+//!   carry [`PayloadBytes`] frames end-to-end. [`NetSendEnd`] is the one
+//!   generic producer-side pipeline stage serving every backend — it
+//!   also broadcasts send-side congestion readings
+//!   ([`SEND_SATURATION_READING`]) so feedback loops can react to
+//!   transport backpressure — and
 //!   [`PipelineTransportExt::add_net_sink`] records the transport at the
 //!   planned section boundary,
 //! * **remote component factories** and a remote Typespec query
@@ -43,11 +51,13 @@ pub mod transport;
 pub mod wire;
 
 pub use framing::{read_frame, write_frame, FrameKind};
+pub use infopipes::PayloadBytes;
 pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
 pub use transport::{
     Acceptor, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats, NetSendEnd,
     PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor, SimConfig, SimLink,
-    SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport, TransportError,
+    SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport, TransportError, UdpAcceptor,
+    UdpLink, UdpTransport, SEND_SATURATION_READING,
 };

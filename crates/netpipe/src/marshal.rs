@@ -13,7 +13,7 @@
 
 use crate::transport::PeerIdentity;
 use crate::wire;
-use infopipes::{Function, Item, ItemType, Stage};
+use infopipes::{Function, Item, ItemType, PayloadBytes, Stage};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -22,22 +22,13 @@ use std::sync::Arc;
 use typespec::{TypeError, Typespec};
 
 /// The raw item type flowing through a netpipe: one marshalled message.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WireBytes(pub Vec<u8>);
-
-impl WireBytes {
-    /// Length in bytes.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-
-    /// Whether the payload is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-}
+///
+/// Since the zero-copy refactor this is [`PayloadBytes`] itself — a
+/// shared `Arc`-backed buffer — so the name is kept as an alias for the
+/// marshalling vocabulary of §2.4. A [`Marshal`] seals each message into
+/// one such buffer; every crossing after that (tees, transports,
+/// framing) shares it by refcount.
+pub type WireBytes = PayloadBytes;
 
 /// Serializes typed items to [`WireBytes`] (function style).
 pub struct Marshal<T> {
@@ -97,8 +88,10 @@ impl<T: Serialize + Send + 'static> Function for Marshal<T> {
     fn convert(&mut self, item: Item) -> Option<Item> {
         let meta = item.meta;
         let (value, _) = item.into_payload::<T>().ok()?;
-        let bytes = wire::to_bytes(&value).ok()?;
-        let mut out = Item::cloneable(WireBytes(bytes));
+        // Marshal into a single owned buffer and seal it; downstream
+        // crossings (tees, transports) share it without copying.
+        let bytes = wire::to_payload(&value).ok()?;
+        let mut out = Item::bytes(bytes);
         out.meta = meta;
         Some(out)
     }
@@ -190,7 +183,9 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Function for Unmarshal<T> {
     fn convert(&mut self, item: Item) -> Option<Item> {
         let meta = item.meta;
         let (bytes, _) = item.into_payload::<WireBytes>().ok()?;
-        match wire::from_bytes::<T>(&bytes.0) {
+        // Decode by borrowing the shared frame buffer: no copy of the
+        // payload is made on the receive path.
+        match wire::from_bytes::<T>(&bytes) {
             Ok(value) => {
                 self.stats.lock().decoded += 1;
                 let mut out = Item::cloneable(value);
@@ -232,7 +227,7 @@ mod tests {
         let u = Unmarshal::<media::MidiEvent>::new("u");
         let stats = u.stats_handle();
         let mut u = u;
-        let garbage = Item::cloneable(WireBytes(vec![1, 2, 3]));
+        let garbage = Item::bytes(WireBytes::from(vec![1, 2, 3]));
         assert!(u.convert(garbage).is_none());
         assert_eq!(stats.lock().errors, 1);
         assert_eq!(stats.lock().decoded, 0);
@@ -290,9 +285,24 @@ mod tests {
 
     #[test]
     fn wire_bytes_basics() {
-        let w = WireBytes(vec![1, 2]);
+        let w = WireBytes::from(vec![1, 2]);
         assert_eq!(w.len(), 2);
         assert!(!w.is_empty());
-        assert!(WireBytes(Vec::new()).is_empty());
+        assert!(WireBytes::new().is_empty());
+    }
+
+    #[test]
+    fn marshalled_items_ride_the_bytes_fast_path() {
+        let mut m = Marshal::<u32>::new("m");
+        let wire_item = m.convert(Item::cloneable(7u32).with_seq(1)).unwrap();
+        let sent = wire_item.as_payload_bytes().unwrap().clone();
+        // A tee-style duplication of the marshalled item shares the
+        // sealed buffer instead of copying it.
+        let dup = wire_item.try_clone().unwrap();
+        assert_eq!(
+            dup.as_payload_bytes().unwrap().as_ptr(),
+            sent.as_ptr(),
+            "duplicating a marshalled item must not copy the payload"
+        );
     }
 }

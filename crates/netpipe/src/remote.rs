@@ -317,7 +317,7 @@ fn stream_frames<L: Link>(
     loop {
         match link.recv(POLL) {
             RecvOutcome::Frame(Frame::Data(bytes)) => {
-                let _ = inbox_sender.put(Item::cloneable(bytes));
+                let _ = inbox_sender.put(Item::bytes(bytes));
             }
             RecvOutcome::Frame(Frame::Event(ev)) => {
                 let _ = running.send_event(ev.into());

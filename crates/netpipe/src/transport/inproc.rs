@@ -473,13 +473,29 @@ mod tests {
     fn ring_is_fifo_and_bounded() {
         let ring: Ring<WireBytes> = Ring::new(4);
         for i in 0..4u8 {
-            ring.push(WireBytes(vec![i])).unwrap();
+            ring.push(WireBytes::from(vec![i])).unwrap();
         }
-        assert!(ring.push(WireBytes(vec![9])).is_err(), "full ring refuses");
+        assert!(
+            ring.push(WireBytes::from(vec![9])).is_err(),
+            "full ring refuses"
+        );
         for i in 0..4u8 {
-            assert_eq!(ring.pop().unwrap().0, vec![i]);
+            assert_eq!(ring.pop().unwrap(), vec![i]);
         }
         assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn ring_passes_buffers_through_without_copying() {
+        let ring: Ring<WireBytes> = Ring::new(4);
+        let buf = WireBytes::from(vec![1, 2, 3]);
+        let ptr = buf.as_ptr();
+        ring.push(buf).unwrap();
+        assert_eq!(
+            ring.pop().unwrap().as_ptr(),
+            ptr,
+            "the ring must move the shared buffer, not copy it"
+        );
     }
 
     #[test]
@@ -490,7 +506,7 @@ mod tests {
             let ring = Arc::clone(&ring);
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u8 {
-                    while ring.push(WireBytes(vec![t, i])).is_err() {
+                    while ring.push(WireBytes::from(vec![t, i])).is_err() {
                         std::thread::yield_now();
                     }
                 }

@@ -39,6 +39,7 @@
 //! | [`InProcTransport`](super::InProcTransport) | `inproc` | drops on full ring | immediate |
 //! | [`SimTransport`](super::SimTransport) | `sim` | drops on queue overflow | modelled latency/bandwidth/jitter, deterministic under virtual time |
 //! | [`TcpTransport`](super::TcpTransport) | `tcp` | reliable (saturates, never drops) | real sockets |
+//! | [`UdpTransport`](super::UdpTransport) | `udp` | lossy datagrams (oversize or overflow shed) | real sockets |
 //!
 //! # Writing your own backend
 //!
@@ -72,6 +73,7 @@
 mod inproc;
 mod sim;
 mod tcp;
+mod udp;
 
 /// Shared in-process rendezvous plumbing for backends whose "network"
 /// lives inside the process (sim, inproc): a named registry of
@@ -181,11 +183,13 @@ pub(crate) mod rendezvous {
 pub use inproc::{InProcAcceptor, InProcLink, InProcTransport};
 pub use sim::{SimAcceptor, SimConfig, SimLink, SimTransport};
 pub use tcp::{TcpAcceptor, TcpLink, TcpTransport};
+pub use udp::{UdpAcceptor, UdpLink, UdpTransport, DEFAULT_MAX_DATAGRAM};
 
 use crate::marshal::WireBytes;
 use crate::proto::WireEvent;
 use infopipes::{
-    Consumer, ControlEvent, EventCtx, InboxSender, Item, ItemType, Node, Pipeline, Stage, StageCtx,
+    Consumer, ControlEvent, EventCtx, InboxSender, Item, ItemType, Node, PayloadBytes, Pipeline,
+    Stage, StageCtx,
 };
 use mbthread::{Message, ThreadId};
 use std::fmt;
@@ -199,10 +203,14 @@ use typespec::Typespec;
 // ---------------------------------------------------------------------
 
 /// One message travelling over a netpipe transport.
+///
+/// Data frames carry [`PayloadBytes`]: cloning a frame (or teeing it to
+/// several links) shares the sealed buffer by refcount, so the transport
+/// layer never copies a payload it did not itself read off a wire.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// A marshalled data item (data lane).
-    Data(WireBytes),
+    Data(PayloadBytes),
     /// An out-of-band control event (control lane, priority).
     Event(WireEvent),
     /// A factory/query protocol message (control lane, priority).
@@ -502,7 +510,9 @@ pub(crate) fn drain_receiver<L: Link>(
             match link.recv(Duration::from_millis(50)) {
                 RecvOutcome::Frame(Frame::Data(bytes)) => {
                     if let Some(inbox) = &inbox {
-                        if !inbox.put(Item::cloneable(bytes)) {
+                        // The bytes fast path: the inbox item shares the
+                        // frame buffer, no copy and no payload box.
+                        if !inbox.put(Item::bytes(bytes)) {
                             rx_stats.refused.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -530,6 +540,14 @@ pub(crate) fn drain_receiver<L: Link>(
 // The generic producer-side send end
 // ---------------------------------------------------------------------
 
+/// The default reading name under which [`NetSendEnd`] broadcasts its
+/// send-side congestion observations (see
+/// [`NetSendEnd::with_congestion_reports`]).
+pub const SEND_SATURATION_READING: &str = "net-send-saturation";
+
+/// The default congestion-report window (data sends per reading).
+const SATURATION_WINDOW: u64 = 32;
+
 /// The producer-side end of a netpipe: a passive pipeline sink accepting
 /// [`WireBytes`] and transmitting them as data frames over any
 /// [`Link`]. Broadcast control events are forwarded on the control lane;
@@ -537,25 +555,93 @@ pub(crate) fn drain_receiver<L: Link>(
 ///
 /// One generic implementation serves every backend — this is what makes
 /// remote pipelines transport-agnostic at the composition level.
+///
+/// # Send-side congestion sensing
+///
+/// The stage doubles as a sensor: every window of data sends it
+/// broadcasts a custom control event (default name
+/// [`SEND_SATURATION_READING`]) whose value is the fraction of sends in
+/// that window the link reported as [`SendStatus::Saturated`] or
+/// [`SendStatus::Dropped`]. Feedback controllers (e.g.
+/// `feedback::CongestionDropController`) subscribe to this reading, so
+/// drop levels react to transport backpressure directly — not only to
+/// the receive-rate sensor on the far side of the congested link.
 pub struct NetSendEnd<L: Link> {
     name: String,
     link: L,
+    reading_name: Option<String>,
+    window: u64,
+    window_sends: u64,
+    window_pressured: u64,
 }
 
 impl<L: Link> NetSendEnd<L> {
-    /// Wraps a link end as a pipeline sink.
+    /// Wraps a link end as a pipeline sink, reporting send-side
+    /// congestion under [`SEND_SATURATION_READING`].
     #[must_use]
     pub fn new(name: impl Into<String>, link: L) -> NetSendEnd<L> {
         NetSendEnd {
             name: name.into(),
             link,
+            reading_name: Some(SEND_SATURATION_READING.to_owned()),
+            window: SATURATION_WINDOW,
+            window_sends: 0,
+            window_pressured: 0,
         }
+    }
+
+    /// Overrides the congestion reading name and window (data sends per
+    /// report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn with_congestion_reports(
+        mut self,
+        reading_name: impl Into<String>,
+        every: u64,
+    ) -> NetSendEnd<L> {
+        assert!(every > 0, "report window must be positive");
+        self.reading_name = Some(reading_name.into());
+        self.window = every;
+        self
+    }
+
+    /// Disables congestion reporting.
+    #[must_use]
+    pub fn without_congestion_reports(mut self) -> NetSendEnd<L> {
+        self.reading_name = None;
+        self
     }
 
     /// The underlying link (for stats probes).
     #[must_use]
     pub fn link(&self) -> &L {
         &self.link
+    }
+
+    /// Folds one send status into the current window; returns a reading
+    /// to broadcast when the window completes.
+    fn observe_send(&mut self, status: SendStatus) -> Option<ControlEvent> {
+        let reading = self.reading_name.as_deref()?;
+        // A closed link is not a calm link: counting Closed sends would
+        // complete windows at 0.0 saturation and walk drop levels back
+        // down while nothing is being delivered at all.
+        if matches!(status, SendStatus::Closed) {
+            return None;
+        }
+        self.window_sends += 1;
+        if matches!(status, SendStatus::Saturated | SendStatus::Dropped) {
+            self.window_pressured += 1;
+        }
+        if self.window_sends < self.window {
+            return None;
+        }
+        let fraction = self.window_pressured as f64 / self.window_sends as f64;
+        self.window_sends = 0;
+        self.window_pressured = 0;
+        Some(ControlEvent::custom(reading, fraction))
     }
 }
 
@@ -578,6 +664,14 @@ impl<L: Link> Stage for NetSendEnd<L> {
             // Start/Stop are pipeline-local; everything else is forwarded
             // to the remote side (feedback commands, resizes, ...).
             ControlEvent::Start | ControlEvent::Stop => {}
+            // The stage's own congestion readings are local-loop signals:
+            // forwarding them would push extra control frames onto the
+            // very link that is saturated, hand the remote side a reading
+            // that describes *this* sender, and — with send ends on both
+            // sides using the same reading name — echo back and forth
+            // forever.
+            ControlEvent::Custom { name, .. }
+                if Some(name.as_ref()) == self.reading_name.as_deref() => {}
             other => {
                 let _ = self.link.send_via(
                     &mut |to, msg| ctx.post(to, msg),
@@ -591,9 +685,12 @@ impl<L: Link> Stage for NetSendEnd<L> {
 impl<L: Link> Consumer for NetSendEnd<L> {
     fn push(&mut self, ctx: &mut StageCtx<'_, '_>, item: Item) {
         if let Ok((bytes, _)) = item.into_payload::<WireBytes>() {
-            let _ = self
+            let status = self
                 .link
                 .send_via(&mut |to, msg| ctx.post(to, msg), Frame::Data(bytes));
+            if let Some(reading) = self.observe_send(status) {
+                ctx.broadcast(&reading);
+            }
         }
     }
 }

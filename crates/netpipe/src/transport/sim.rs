@@ -161,7 +161,7 @@ impl DirectionFn {
                 RxSink::Bound { inbox, on_event } => match frame {
                     Frame::Data(bytes) => {
                         if let Some(inbox) = inbox {
-                            if inbox.put_via(ctx, Item::cloneable(bytes)) {
+                            if inbox.put_via(ctx, Item::bytes(bytes)) {
                                 self.stats.delivered.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 self.stats.refused.fetch_add(1, Ordering::Relaxed);
@@ -424,7 +424,7 @@ impl Link for SimLink {
             match frame {
                 Frame::Data(bytes) => {
                     if let Some(inbox) = &inbox {
-                        if inbox.put(Item::cloneable(bytes)) {
+                        if inbox.put(Item::bytes(bytes)) {
                             self.shared
                                 .rx_stats
                                 .delivered

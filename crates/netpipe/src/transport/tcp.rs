@@ -121,7 +121,7 @@ fn writer_loop(tx: &TxShared, stream: &mut TcpStream) {
             }
         };
         let result = match &frame {
-            Frame::Data(bytes) => write_frame(stream, FrameKind::Data, &bytes.0),
+            Frame::Data(bytes) => write_frame(stream, FrameKind::Data, bytes),
             Frame::Event(ev) => match wire::to_bytes(ev) {
                 Ok(bytes) => write_frame(stream, FrameKind::Event, &bytes),
                 Err(_) => Ok(()),
@@ -154,7 +154,11 @@ struct FrameReader {
 }
 
 enum ReadStep {
-    Frame(FrameKind, Vec<u8>),
+    /// A data frame, sealed straight out of the stream buffer.
+    Data(WireBytes),
+    /// A control-lane frame (event/control/fin) with its raw payload —
+    /// kept as a `Vec` so `Frame::Control` needs no second copy.
+    Ctrl(FrameKind, Vec<u8>),
     Eof,
     TimedOut,
     Broken,
@@ -174,9 +178,16 @@ impl FrameReader {
                     return ReadStep::Broken;
                 }
                 if self.buf.len() >= 5 + len {
-                    let payload = self.buf[5..5 + len].to_vec();
+                    // One read-side copy out of the stream buffer, into
+                    // whichever representation the frame kind needs.
+                    let step = match kind {
+                        FrameKind::Data => {
+                            ReadStep::Data(WireBytes::copy_from_slice(&self.buf[5..5 + len]))
+                        }
+                        other => ReadStep::Ctrl(other, self.buf[5..5 + len].to_vec()),
+                    };
                     self.buf.drain(..5 + len);
-                    return ReadStep::Frame(kind, payload);
+                    return step;
                 }
             }
             let now = Instant::now();
@@ -307,23 +318,24 @@ impl Link for TcpLink {
             return RecvOutcome::Closed;
         };
         match reader.read_frame_by(deadline) {
-            ReadStep::Frame(FrameKind::Data, payload) => {
+            ReadStep::Data(payload) => {
                 self.inner.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                RecvOutcome::Frame(Frame::Data(WireBytes(payload)))
+                RecvOutcome::Frame(Frame::Data(payload))
             }
-            ReadStep::Frame(FrameKind::Event, payload) => {
+            ReadStep::Ctrl(FrameKind::Event, payload) => {
                 match wire::from_bytes::<WireEvent>(&payload) {
                     Ok(ev) => RecvOutcome::Frame(Frame::Event(ev)),
                     Err(_) => RecvOutcome::Closed,
                 }
             }
-            ReadStep::Frame(FrameKind::Control, payload) => {
+            ReadStep::Ctrl(FrameKind::Control, payload) => {
                 RecvOutcome::Frame(Frame::Control(payload))
             }
-            ReadStep::Frame(FrameKind::Fin, _) => {
+            ReadStep::Ctrl(FrameKind::Fin, _) => {
                 self.inner.fin_seen.store(true, Ordering::Release);
                 RecvOutcome::Fin
             }
+            ReadStep::Ctrl(FrameKind::Data, _) => unreachable!("data frames use ReadStep::Data"),
             ReadStep::TimedOut => RecvOutcome::TimedOut,
             ReadStep::Eof | ReadStep::Broken => RecvOutcome::Closed,
         }

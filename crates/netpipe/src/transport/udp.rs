@@ -1,0 +1,698 @@
+//! The UDP transport: lossy, datagram-framed, over real sockets.
+//!
+//! Unlike TCP there is no stream to frame: **one frame is one
+//! datagram**, encoded as `[kind: u8][payload]` (the datagram boundary
+//! is the length). The backend is honest about UDP's nature:
+//!
+//! * **lossy** — a frame larger than the configured datagram limit is
+//!   dropped at the send end (and counted), the network itself may shed
+//!   datagrams under load, and a stalled receiver sheds arrivals once
+//!   its bounded receive queue fills (also counted); nothing is
+//!   retransmitted. This is the "arbitrary dropping in the network" of
+//!   Fig. 1 on a real socket.
+//! * **connectionless underneath** — the listener socket serves every
+//!   client; a connect is announced with a `HELLO` datagram, and the
+//!   acceptor-side link demultiplexes by source address. A dedicated
+//!   reader thread on the server routes arriving datagrams to per-peer
+//!   queues.
+//! * **control priority at the receiver** — datagrams arrive in kernel
+//!   order, so the receive side drains everything available before
+//!   serving, and control-lane frames overtake queued data there (the
+//!   same reordering point the in-process backend uses).
+//!
+//! `Fin` travels in-band as its own datagram; with no handshake there
+//! is no delivery guarantee for it. A client whose socket reports a
+//! hard error (e.g. `ECONNREFUSED` via ICMP after the server vanished)
+//! surfaces `Closed`; a peer that vanishes *silently* is
+//! indistinguishable from an idle link — inherent to UDP — and must be
+//! handled by inactivity timeouts at higher layers.
+//! Payload buffers are [`PayloadBytes`]; note that the `[kind]` tag
+//! prefix forces one send-side copy per datagram (tag + payload must be
+//! contiguous), and receives seal each datagram once — the unavoidable
+//! I/O-boundary copies, with none elsewhere.
+
+use super::{
+    Acceptor, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus, SharedStats,
+    Transport, TransportError,
+};
+use crate::proto::WireEvent;
+use crate::wire;
+use infopipes::PayloadBytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Datagram type bytes (first byte of every datagram).
+const TAG_HELLO: u8 = 0xF0;
+const TAG_DATA: u8 = 0;
+const TAG_EVENT: u8 = 1;
+const TAG_CONTROL: u8 = 2;
+const TAG_FIN: u8 = 3;
+
+/// The largest payload the backend will put in one datagram by default,
+/// comfortably under the UDP maximum (65507) to leave header room.
+pub const DEFAULT_MAX_DATAGRAM: usize = 60 * 1024;
+
+fn encode(frame: &Frame) -> Option<(u8, Vec<u8>)> {
+    match frame {
+        Frame::Data(_) => None, // data frames are framed inline in send_frame
+        Frame::Event(ev) => Some((TAG_EVENT, wire::to_bytes(ev).ok()?)),
+        Frame::Control(bytes) => Some((TAG_CONTROL, bytes.clone())),
+        Frame::Fin => Some((TAG_FIN, Vec::new())),
+    }
+}
+
+fn decode(tag: u8, payload: &[u8]) -> Option<Frame> {
+    match tag {
+        TAG_DATA => Some(Frame::Data(PayloadBytes::copy_from_slice(payload))),
+        TAG_EVENT => wire::from_bytes::<WireEvent>(payload)
+            .ok()
+            .map(Frame::Event),
+        TAG_CONTROL => Some(Frame::Control(payload.to_vec())),
+        TAG_FIN => Some(Frame::Fin),
+        _ => None,
+    }
+}
+
+/// Sends one frame as a datagram through `send`, charging `stats`.
+fn send_frame(
+    frame: Frame,
+    max_datagram: usize,
+    stats: &SharedStats,
+    fin_sent: &AtomicBool,
+    send: impl Fn(&[u8]) -> std::io::Result<usize>,
+) -> SendStatus {
+    if fin_sent.load(Ordering::Acquire) {
+        return SendStatus::Closed;
+    }
+    match frame {
+        Frame::Data(bytes) => {
+            stats.sent.fetch_add(1, Ordering::Relaxed);
+            if bytes.len() > max_datagram {
+                // An oversized frame cannot ride one datagram: shed it,
+                // like a router refusing a jumbo packet.
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return SendStatus::Dropped;
+            }
+            let mut dgram = Vec::with_capacity(bytes.len() + 1);
+            dgram.push(TAG_DATA);
+            dgram.extend_from_slice(&bytes);
+            match send(&dgram) {
+                Ok(_) => {
+                    stats
+                        .bytes_sent
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    SendStatus::Sent
+                }
+                Err(_) => {
+                    // A full socket buffer is genuine loss on UDP.
+                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    SendStatus::Dropped
+                }
+            }
+        }
+        other => {
+            let is_fin = matches!(other, Frame::Fin);
+            let Some((tag, payload)) = encode(&other) else {
+                return SendStatus::Sent;
+            };
+            let mut dgram = Vec::with_capacity(payload.len() + 1);
+            dgram.push(tag);
+            dgram.extend_from_slice(&payload);
+            let _ = send(&dgram);
+            if is_fin {
+                fin_sent.store(true, Ordering::Release);
+            }
+            SendStatus::Sent
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Receive-side queue shared by both link flavours
+// ---------------------------------------------------------------------
+
+/// Data frames the receive queue holds before shedding arrivals: like
+/// the other lossy backends, a stalled consumer must produce bounded
+/// memory use and counted drops, not an unbounded backlog.
+const RX_QUEUE_FRAMES: usize = 1024;
+
+/// The two receive lanes, under one lock. Control frames (events,
+/// factory messages, `Fin`) live apart from data so priority pops are
+/// O(1) on the data path and never scan a deep data backlog.
+struct RxLanes {
+    ctrl: VecDeque<Frame>,
+    data: VecDeque<PayloadBytes>,
+}
+
+/// Frames awaiting a `recv` (or the bind_receiver drain thread).
+struct RxQueue {
+    lanes: Mutex<RxLanes>,
+    cv: Condvar,
+    fin: AtomicBool,
+    closed: AtomicBool,
+}
+
+impl RxQueue {
+    fn new() -> RxQueue {
+        RxQueue {
+            lanes: Mutex::new(RxLanes {
+                ctrl: VecDeque::new(),
+                data: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            fin: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues an arrived frame. The data lane is bounded
+    /// ([`RX_QUEUE_FRAMES`]): overflow sheds the arrival and counts it
+    /// into `stats.dropped`, keeping the backend lossy rather than
+    /// unbounded when the consumer stalls. The control lane is small and
+    /// never shed.
+    fn push(&self, frame: Frame, stats: &SharedStats) {
+        {
+            let mut lanes = self.lanes.lock();
+            match frame {
+                Frame::Data(bytes) => {
+                    if lanes.data.len() >= RX_QUEUE_FRAMES {
+                        stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        lanes.data.push_back(bytes);
+                    }
+                }
+                Frame::Fin => {
+                    self.fin.store(true, Ordering::Release);
+                    lanes.ctrl.push_back(Frame::Fin);
+                }
+                ctrl_frame => lanes.ctrl.push_back(ctrl_frame),
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks the link dead (socket error observed); wakes waiters so
+    /// they see `Closed`.
+    fn mark_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Pops the next frame with control priority: events and control
+    /// messages overtake queued data; `Fin` keeps its place so the
+    /// stream ends after its data.
+    fn pop(&self, delivered: &SharedStats) -> Option<RecvOutcome> {
+        let mut lanes = self.lanes.lock();
+        if let Some(pos) = lanes.ctrl.iter().position(|f| !matches!(f, Frame::Fin)) {
+            let frame = lanes.ctrl.remove(pos).expect("indexed frame");
+            return Some(RecvOutcome::Frame(frame));
+        }
+        if let Some(bytes) = lanes.data.pop_front() {
+            delivered.delivered.fetch_add(1, Ordering::Relaxed);
+            return Some(RecvOutcome::Frame(Frame::Data(bytes)));
+        }
+        if matches!(lanes.ctrl.front(), Some(Frame::Fin)) {
+            lanes.ctrl.pop_front();
+            return Some(RecvOutcome::Fin);
+        }
+        if self.fin.load(Ordering::Acquire) {
+            Some(RecvOutcome::Fin)
+        } else if self.closed.load(Ordering::Acquire) {
+            Some(RecvOutcome::Closed)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The link
+// ---------------------------------------------------------------------
+
+enum LinkSide {
+    /// Client side: owns its socket; `recv` reads datagrams itself into
+    /// a reusable buffer (allocated once per link, not per poll).
+    Client {
+        socket: UdpSocket,
+        recv_buf: Mutex<Vec<u8>>,
+    },
+    /// Server side: datagrams arrive via the listener's reader thread.
+    /// The strong ref keeps the shared socket and reader alive for as
+    /// long as any accepted link exists, acceptor dropped or not.
+    Server {
+        server: Arc<ServerShared>,
+        peer_addr: SocketAddr,
+    },
+}
+
+struct UdpInner {
+    peer: PeerIdentity,
+    side: LinkSide,
+    rx: Arc<RxQueue>,
+    max_datagram: usize,
+    stats: Arc<SharedStats>,
+    fin_sent: AtomicBool,
+    rx_bound: AtomicBool,
+}
+
+impl Drop for UdpInner {
+    fn drop(&mut self) {
+        if let LinkSide::Server { server, peer_addr } = &self.side {
+            server.peers.lock().remove(peer_addr);
+        }
+    }
+}
+
+/// One end of a UDP "connection" (cheap to clone).
+#[derive(Clone)]
+pub struct UdpLink {
+    inner: Arc<UdpInner>,
+}
+
+impl UdpLink {
+    /// Drains every datagram currently readable on the client socket
+    /// into the rx queue (so control frames can overtake queued data).
+    /// A hard socket error — e.g. `ECONNREFUSED` from an ICMP
+    /// port-unreachable after the server socket closed — marks the link
+    /// closed.
+    fn pump_client_socket(&self, wait: Duration) {
+        let LinkSide::Client { socket, recv_buf } = &self.inner.side else {
+            return;
+        };
+        let mut buf = recv_buf.lock();
+        if buf.is_empty() {
+            buf.resize(64 * 1024 + 1, 0);
+        }
+        // First read may block up to `wait`; subsequent reads only drain
+        // what is already queued in the kernel.
+        let mut timeout = wait;
+        loop {
+            let _ = socket.set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
+            match socket.recv(&mut buf) {
+                Ok(n) if n > 0 => {
+                    if let Some(frame) = decode(buf[0], &buf[1..n]) {
+                        self.inner.rx.push(frame, &self.inner.stats);
+                    }
+                    timeout = Duration::from_micros(100);
+                }
+                Ok(_) => return,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    // Benign: timeout expiry or a signal (EINTR) — the
+                    // link itself is fine.
+                    return;
+                }
+                Err(_) => {
+                    self.inner.rx.mark_closed();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Link for UdpLink {
+    fn peer(&self) -> PeerIdentity {
+        self.inner.peer.clone()
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        match &self.inner.side {
+            LinkSide::Client { socket, .. } => send_frame(
+                frame,
+                self.inner.max_datagram,
+                &self.inner.stats,
+                &self.inner.fin_sent,
+                |d| socket.send(d),
+            ),
+            LinkSide::Server { server, peer_addr } => send_frame(
+                frame,
+                self.inner.max_datagram,
+                &self.inner.stats,
+                &self.inner.fin_sent,
+                |d| server.socket.send_to(d, peer_addr),
+            ),
+        }
+    }
+
+    fn recv(&self, timeout: Duration) -> RecvOutcome {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(out) = self.inner.rx.pop(&self.inner.stats) {
+                return out;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvOutcome::TimedOut;
+            }
+            match &self.inner.side {
+                LinkSide::Client { .. } => self.pump_client_socket(deadline - now),
+                LinkSide::Server { .. } => {
+                    // The listener's reader thread fills the queue; wait
+                    // on its condvar.
+                    let mut lanes = self.inner.rx.lanes.lock();
+                    if lanes.ctrl.is_empty()
+                        && lanes.data.is_empty()
+                        && !self.inner.rx.fin.load(Ordering::Acquire)
+                        && !self.inner.rx.closed.load(Ordering::Acquire)
+                    {
+                        self.inner.rx.cv.wait_for(&mut lanes, deadline - now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn bind_receiver(
+        &self,
+        inbox: Option<infopipes::InboxSender>,
+        on_event: impl Fn(infopipes::ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        if self.inner.rx_bound.swap(true, Ordering::AcqRel) {
+            return Err(TransportError::ReceiverTaken);
+        }
+        let rx_stats = Arc::clone(&self.inner.stats);
+        super::drain_receiver(self.clone(), inbox, on_event, rx_stats, |link| {
+            Arc::strong_count(&link.inner) == 1
+        })
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for UdpLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpLink")
+            .field("peer", &self.inner.peer.to_string())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener: one socket, demultiplexed by source address
+// ---------------------------------------------------------------------
+
+struct PeerEntry {
+    rx: Arc<RxQueue>,
+    stats: Arc<SharedStats>,
+}
+
+struct ServerShared {
+    socket: Arc<UdpSocket>,
+    peers: Mutex<HashMap<SocketAddr, PeerEntry>>,
+    /// Freshly announced peers awaiting `accept`.
+    pending: Mutex<VecDeque<SocketAddr>>,
+    pending_cv: Condvar,
+    closed: AtomicBool,
+}
+
+/// Routes every arriving datagram: `HELLO` creates a peer entry and
+/// wakes `accept`; anything else lands in its peer's queue. Holds only a
+/// weak ref, so the thread reaps itself once the acceptor and every
+/// accepted link are gone.
+fn reader_loop(server: &Weak<ServerShared>) {
+    let mut buf = vec![0u8; 64 * 1024 + 1];
+    loop {
+        let Some(srv) = server.upgrade() else { return };
+        let _ = srv.socket.set_read_timeout(Some(Duration::from_millis(50)));
+        match srv.socket.recv_from(&mut buf) {
+            Ok((n, from)) if n > 0 => {
+                if buf[0] == TAG_HELLO {
+                    let mut peers = srv.peers.lock();
+                    if let std::collections::hash_map::Entry::Vacant(slot) = peers.entry(from) {
+                        slot.insert(PeerEntry {
+                            rx: Arc::new(RxQueue::new()),
+                            stats: Arc::new(SharedStats::default()),
+                        });
+                        srv.pending.lock().push_back(from);
+                        srv.pending_cv.notify_all();
+                    }
+                } else if let Some(frame) = decode(buf[0], &buf[1..n]) {
+                    if let Some(entry) = srv.peers.lock().get(&from) {
+                        entry.rx.push(frame, &entry.stats);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A bound UDP listening endpoint. Dropping it unblocks pending
+/// `accept` calls; the shared reader keeps serving already-accepted
+/// links and exits once the last of them is gone.
+pub struct UdpAcceptor {
+    server: Arc<ServerShared>,
+    max_datagram: usize,
+}
+
+impl Drop for UdpAcceptor {
+    fn drop(&mut self) {
+        self.server.closed.store(true, Ordering::Release);
+        self.server.pending_cv.notify_all();
+    }
+}
+
+impl Acceptor for UdpAcceptor {
+    type Link = UdpLink;
+
+    fn local_addr(&self) -> String {
+        self.server
+            .socket
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+
+    fn accept(&self) -> Result<UdpLink, TransportError> {
+        let peer_addr = {
+            let mut pending = self.server.pending.lock();
+            loop {
+                if let Some(addr) = pending.pop_front() {
+                    break addr;
+                }
+                if self.server.closed.load(Ordering::Acquire) {
+                    return Err(TransportError::Closed);
+                }
+                self.server.pending_cv.wait(&mut pending);
+            }
+        };
+        let entry = {
+            let peers = self.server.peers.lock();
+            let entry = peers.get(&peer_addr).ok_or(TransportError::Closed)?;
+            (Arc::clone(&entry.rx), Arc::clone(&entry.stats))
+        };
+        Ok(UdpLink {
+            inner: Arc::new(UdpInner {
+                peer: PeerIdentity::new("udp", peer_addr.to_string()),
+                side: LinkSide::Server {
+                    server: Arc::clone(&self.server),
+                    peer_addr,
+                },
+                rx: entry.0,
+                max_datagram: self.max_datagram,
+                stats: entry.1,
+                fin_sent: AtomicBool::new(false),
+                rx_bound: AtomicBool::new(false),
+            }),
+        })
+    }
+}
+
+impl std::fmt::Debug for UdpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpAcceptor")
+            .field("addr", &self.local_addr())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The transport
+// ---------------------------------------------------------------------
+
+/// The UDP transport. Stateless apart from configuration; addresses are
+/// standard socket addresses (`127.0.0.1:0` binds an ephemeral port).
+#[derive(Clone, Debug)]
+pub struct UdpTransport {
+    max_datagram: usize,
+}
+
+impl UdpTransport {
+    /// A transport with the default datagram payload limit
+    /// ([`DEFAULT_MAX_DATAGRAM`]).
+    #[must_use]
+    pub fn new() -> UdpTransport {
+        UdpTransport {
+            max_datagram: DEFAULT_MAX_DATAGRAM,
+        }
+    }
+
+    /// Overrides the per-datagram payload limit; larger data frames are
+    /// dropped at the send end (and counted), as on a path with a hard
+    /// MTU.
+    #[must_use]
+    pub fn with_max_datagram(max_datagram: usize) -> UdpTransport {
+        UdpTransport {
+            max_datagram: max_datagram.max(1),
+        }
+    }
+}
+
+impl Default for UdpTransport {
+    fn default() -> Self {
+        UdpTransport::new()
+    }
+}
+
+impl Transport for UdpTransport {
+    type Link = UdpLink;
+    type Acceptor = UdpAcceptor;
+
+    fn scheme(&self) -> &'static str {
+        "udp"
+    }
+
+    fn listen(&self, addr: &str) -> Result<UdpAcceptor, TransportError> {
+        let socket = Arc::new(UdpSocket::bind(addr)?);
+        let server = Arc::new(ServerShared {
+            socket,
+            peers: Mutex::new(HashMap::new()),
+            pending: Mutex::new(VecDeque::new()),
+            pending_cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        let weak = Arc::downgrade(&server);
+        std::thread::Builder::new()
+            .name("udp-netpipe-reader".into())
+            .spawn(move || reader_loop(&weak))
+            .map_err(TransportError::Io)?;
+        Ok(UdpAcceptor {
+            server,
+            max_datagram: self.max_datagram,
+        })
+    }
+
+    fn connect(&self, addr: &str) -> Result<UdpLink, TransportError> {
+        // Bind an ephemeral socket of the same address family as the
+        // target, so IPv6 listeners work like they do over TCP.
+        let target = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+            .next()
+            .ok_or_else(|| TransportError::NotFound(addr.to_owned()))?;
+        let socket = if target.is_ipv6() {
+            UdpSocket::bind("[::]:0")?
+        } else {
+            UdpSocket::bind("0.0.0.0:0")?
+        };
+        socket.connect(target)?;
+        // Announce ourselves; the acceptor materialises the peer from
+        // this datagram. No reply is required before streaming: data
+        // sent before `accept` queues in the listener socket. The HELLO
+        // itself is unacknowledged, so follow it with best-effort
+        // duplicates (the server dedups by source address) — losing all
+        // of them would leave the connection streaming into a black
+        // hole. Only the first send propagates errors, so a late ICMP
+        // rejection cannot make `connect` nondeterministic.
+        socket.send(&[TAG_HELLO])?;
+        for _ in 0..2 {
+            let _ = socket.send(&[TAG_HELLO]);
+        }
+        Ok(UdpLink {
+            inner: Arc::new(UdpInner {
+                peer: PeerIdentity::new("udp", addr.to_owned()),
+                side: LinkSide::Client {
+                    socket,
+                    recv_buf: Mutex::new(Vec::new()),
+                },
+                rx: Arc::new(RxQueue::new()),
+                max_datagram: self.max_datagram,
+                stats: Arc::new(SharedStats::default()),
+                fin_sent: AtomicBool::new(false),
+                rx_bound: AtomicBool::new(false),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_establishes_a_demultiplexed_peer() {
+        let transport = UdpTransport::new();
+        let acceptor = transport.listen("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let c1 = transport.connect(&addr).unwrap();
+        let c2 = transport.connect(&addr).unwrap();
+        let s1 = acceptor.accept().unwrap();
+        let s2 = acceptor.accept().unwrap();
+        assert_ne!(s1.peer().addr(), s2.peer().addr());
+        // Each server link sees only its own client's traffic.
+        assert!(c1
+            .send(Frame::Data(PayloadBytes::from(vec![1u8])))
+            .accepted());
+        assert!(c2
+            .send(Frame::Data(PayloadBytes::from(vec![2u8])))
+            .accepted());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let recv_one = |link: &UdpLink| loop {
+            match link.recv(Duration::from_millis(100)) {
+                RecvOutcome::Frame(Frame::Data(b)) => return b[0],
+                RecvOutcome::TimedOut if Instant::now() < deadline => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(recv_one(&s1), 1);
+        assert_eq!(recv_one(&s2), 2);
+    }
+
+    #[test]
+    fn receive_queue_is_bounded_and_sheds_with_counting() {
+        let rx = RxQueue::new();
+        let stats = SharedStats::default();
+        for i in 0..(RX_QUEUE_FRAMES + 10) {
+            rx.push(
+                Frame::Data(PayloadBytes::from(vec![(i % 251) as u8])),
+                &stats,
+            );
+        }
+        // Control frames are never shed, and still overtake the backlog.
+        rx.push(Frame::Event(WireEvent::SetDropLevel(1)), &stats);
+        assert_eq!(stats.dropped.load(Ordering::Relaxed), 10);
+        assert!(matches!(
+            rx.pop(&stats),
+            Some(RecvOutcome::Frame(Frame::Event(_)))
+        ));
+        let mut data = 0;
+        while let Some(RecvOutcome::Frame(Frame::Data(_))) = rx.pop(&stats) {
+            data += 1;
+        }
+        assert_eq!(data, RX_QUEUE_FRAMES, "backlog capped at the queue bound");
+        assert_eq!(stats.delivered.load(Ordering::Relaxed), data as u64);
+    }
+
+    #[test]
+    fn oversized_frames_are_shed_and_counted() {
+        let transport = UdpTransport::with_max_datagram(64);
+        let acceptor = transport.listen("127.0.0.1:0").unwrap();
+        let client = transport.connect(&acceptor.local_addr()).unwrap();
+        assert_eq!(
+            client.send(Frame::Data(PayloadBytes::from(vec![0u8; 1024]))),
+            SendStatus::Dropped
+        );
+        let stats = client.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.dropped, 1);
+    }
+}

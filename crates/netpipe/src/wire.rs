@@ -78,6 +78,17 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
     Ok(out.out)
 }
 
+/// Serializes a value into a single sealed [`PayloadBytes`] buffer —
+/// the entry point of the zero-copy payload path: the returned buffer is
+/// shared (never copied) by every downstream crossing.
+///
+/// # Errors
+///
+/// Any [`WireError`] reported during serialization.
+pub fn to_payload<T: Serialize>(value: &T) -> Result<infopipes::PayloadBytes, WireError> {
+    to_bytes(value).map(infopipes::PayloadBytes::from_vec)
+}
+
 /// Deserializes a value from wire bytes, requiring the input to be fully
 /// consumed.
 ///

@@ -12,23 +12,23 @@
 //! datagram network — and those are exercised by the experiment suites
 //! (Fig. 1), not here.
 
-use infopipes::helpers::CollectSink;
-use infopipes::{BufferSpec, ControlEvent, FreePump, Pipeline};
+use infopipes::helpers::{CollectSink, FnFunction, IterSource};
+use infopipes::{BufferSpec, ControlEvent, FreePump, PayloadBytes, Pipeline};
 use mbthread::{Kernel, KernelConfig};
 use netpipe::{
-    Acceptor, Frame, InProcTransport, Link, RecvOutcome, SendStatus, SimConfig, SimTransport,
-    TcpTransport, Transport, Unmarshal, WireBytes,
+    Acceptor, Frame, InProcTransport, Link, Marshal, PipelineTransportExt, RecvOutcome, SendStatus,
+    SimConfig, SimTransport, TcpTransport, Transport, UdpTransport, Unmarshal, WireBytes,
 };
 use std::time::{Duration, Instant};
 
 const DEADLINE: Duration = Duration::from_secs(20);
 
 fn data_frame(i: u32) -> Frame {
-    Frame::Data(WireBytes(netpipe::wire::to_bytes(&i).expect("encode")))
+    Frame::Data(netpipe::wire::to_payload(&i).expect("encode"))
 }
 
 fn decode(bytes: &WireBytes) -> u32 {
-    netpipe::wire::from_bytes(&bytes.0).expect("decode")
+    netpipe::wire::from_bytes(bytes).expect("decode")
 }
 
 /// Opens one connection: (client end, server end).
@@ -119,7 +119,7 @@ fn check_backpressure<T: Transport>(
     let mut pressured = false;
     let mut dropped = 0usize;
     for _ in 0..sends {
-        match client.send(Frame::Data(WireBytes(vec![0u8; payload]))) {
+        match client.send(Frame::Data(PayloadBytes::from(vec![0u8; payload]))) {
             SendStatus::Sent => {}
             SendStatus::Saturated => pressured = true,
             SendStatus::Dropped => {
@@ -158,7 +158,7 @@ fn check_backpressure<T: Transport>(
 fn check_event_priority<T: Transport>(transport: &T, addr: &str, payload: usize, sends: usize) {
     let (client, server) = connect_pair(transport, addr);
     for _ in 0..sends {
-        let status = client.send(Frame::Data(WireBytes(vec![0u8; payload])));
+        let status = client.send(Frame::Data(PayloadBytes::from(vec![0u8; payload])));
         assert!(
             !matches!(status, SendStatus::Closed),
             "link must stay open during the burst"
@@ -273,7 +273,129 @@ fn check_clean_shutdown<T: Transport>(transport: &T, addr: &str, kernel: &Kernel
 }
 
 // ---------------------------------------------------------------------
-// The three backends × four properties
+// Property 5: no payload mutation is observable after send
+// ---------------------------------------------------------------------
+
+/// A producer that keeps clones of every payload it sends must see them
+/// byte-identical after delivery: payload buffers are immutable, so a
+/// transport can never scribble on (or recycle) a buffer the
+/// application still holds, and what was sent is what arrives.
+fn check_payload_immutability<T: Transport>(transport: &T, addr: &str) {
+    let (client, server) = connect_pair(transport, addr);
+    let originals: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 257]).collect();
+    let retained: Vec<PayloadBytes> = originals
+        .iter()
+        .map(|v| PayloadBytes::from_vec(v.clone()))
+        .collect();
+    for buf in &retained {
+        assert!(client.send(Frame::Data(buf.clone())).accepted());
+    }
+    assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+
+    let mut received = Vec::new();
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        match server.recv(Duration::from_millis(100)) {
+            RecvOutcome::Frame(Frame::Data(bytes)) => received.push(bytes),
+            RecvOutcome::Frame(_) => {}
+            RecvOutcome::Fin => break,
+            RecvOutcome::Closed => panic!("link closed before Fin"),
+            RecvOutcome::TimedOut => assert!(Instant::now() < deadline, "timed out"),
+        }
+    }
+    for (buf, original) in retained.iter().zip(&originals) {
+        assert_eq!(
+            buf.as_slice(),
+            original.as_slice(),
+            "sent buffers must be unchanged after delivery"
+        );
+    }
+    for (got, original) in received.iter().zip(&originals) {
+        assert_eq!(got.as_slice(), original.as_slice(), "delivered = sent");
+    }
+    assert_eq!(received.len(), originals.len());
+}
+
+// ---------------------------------------------------------------------
+// Property 6 (inproc): the data path is zero-copy end to end
+// ---------------------------------------------------------------------
+
+/// Runs `src >> marshal >> NetSendEnd >> (inproc link) >> inbox >>
+/// unmarshal >> sink` and proves by pointer identity that the payload
+/// buffer sealed by the marshaller is the very allocation the
+/// unmarshaller decodes from — zero payload copies across the send end,
+/// the lock-free ring, the drain thread, and the inbox.
+fn check_inproc_zero_copy(kernel: &Kernel) {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let transport = InProcTransport::new();
+    let acceptor = transport.listen("zero-copy").unwrap();
+    let link = transport.connect("zero-copy").unwrap();
+    let receiver_end = acceptor.accept().unwrap();
+
+    let sent_ptrs: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let recv_ptrs: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Consumer side: record each frame's address right where the
+    // unmarshaller borrows it.
+    let consumer = Pipeline::new(kernel, "zc-consumer");
+    let (inbox, inbox_sender) = consumer.add_inbox("net-in", BufferSpec::bounded(256));
+    let pump_in = consumer.add_pump("pump-in", FreePump::new());
+    let recv_ptrs2 = Arc::clone(&recv_ptrs);
+    let tap_in = consumer.add_function(
+        "tap-in",
+        FnFunction::new("tap-in", move |b: PayloadBytes| {
+            recv_ptrs2.lock().push(b.as_ptr() as usize);
+            Some(b)
+        }),
+    );
+    let un = consumer.add_function("unmarshal", Unmarshal::<u64>::new("unmarshal"));
+    let (sink, out) = CollectSink::<u64>::new("sink");
+    let sink = consumer.add_consumer("sink", sink);
+    let _ = inbox >> pump_in >> tap_in >> un >> sink;
+    receiver_end
+        .bind_receiver(Some(inbox_sender), |_| {})
+        .unwrap();
+    let running_consumer = consumer.start().unwrap();
+    running_consumer.start_flow().unwrap();
+
+    // Producer side: record each sealed buffer's address as it leaves
+    // the marshaller for the send end.
+    let producer = Pipeline::new(kernel, "zc-producer");
+    let src = producer.add_producer("src", IterSource::new("src", 0u64..50));
+    let pump_out = producer.add_pump("pump-out", FreePump::new());
+    let m = producer.add_function("marshal", Marshal::<u64>::new("marshal"));
+    let sent_ptrs2 = Arc::clone(&sent_ptrs);
+    let tap_out = producer.add_function(
+        "tap-out",
+        FnFunction::new("tap-out", move |b: PayloadBytes| {
+            sent_ptrs2.lock().push(b.as_ptr() as usize);
+            Some(b)
+        }),
+    );
+    let send = producer.add_net_sink("send", &link);
+    let _ = src >> pump_out >> m >> tap_out >> send;
+    let running_producer = producer.start().unwrap();
+    running_producer.start_flow().unwrap();
+
+    let deadline = Instant::now() + DEADLINE;
+    while out.lock().len() < 50 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(*out.lock(), (0u64..50).collect::<Vec<u64>>());
+    let sent = sent_ptrs.lock().clone();
+    let received = recv_ptrs.lock().clone();
+    assert_eq!(sent.len(), 50);
+    assert_eq!(
+        sent, received,
+        "every frame must arrive at the unmarshaller in the very \
+         allocation the marshaller sealed (zero copies on the inproc lane)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The four backends × the conformance properties
 // ---------------------------------------------------------------------
 
 #[test]
@@ -291,6 +413,8 @@ fn inproc_conforms() {
     );
     check_event_priority(&InProcTransport::new(), "prio", 64, 50);
     check_clean_shutdown(&InProcTransport::new(), "fin", &kernel);
+    check_payload_immutability(&InProcTransport::new(), "immut");
+    check_inproc_zero_copy(&kernel);
     kernel.shutdown();
 }
 
@@ -339,6 +463,7 @@ fn sim_conforms() {
         50,
     );
     check_clean_shutdown(&fast(&kernel), "fin", &kernel);
+    check_payload_immutability(&fast(&kernel), "immut");
     kernel.shutdown();
 }
 
@@ -366,5 +491,30 @@ fn tcp_conforms() {
         16,
     );
     check_clean_shutdown(&TcpTransport::new(), "127.0.0.1:0", &kernel);
+    check_payload_immutability(&TcpTransport::new(), "127.0.0.1:0");
+    kernel.shutdown();
+}
+
+#[test]
+fn udp_conforms() {
+    let kernel = Kernel::new(KernelConfig::default());
+    // 200 small datagrams over loopback arrive complete and in order —
+    // the backend's lossless-default configuration.
+    check_ordering(&UdpTransport::new(), "127.0.0.1:0");
+    // A 512-byte datagram ceiling: every 1 KiB frame is shed at the send
+    // end and counted, the honest datagram analogue of a hard MTU.
+    check_backpressure(
+        &UdpTransport::with_max_datagram(512),
+        "127.0.0.1:0",
+        1024,
+        50,
+        true,
+        false,
+    );
+    // All data frames are drained into the receive queue before the
+    // event is read, so control priority manifests at the receiver.
+    check_event_priority(&UdpTransport::new(), "127.0.0.1:0", 1024, 50);
+    check_clean_shutdown(&UdpTransport::new(), "127.0.0.1:0", &kernel);
+    check_payload_immutability(&UdpTransport::new(), "127.0.0.1:0");
     kernel.shutdown();
 }

@@ -115,10 +115,32 @@ proptest! {
             count,
             ftype: media::FrameType::P,
             pts_us: pts,
-            bytes: data,
+            bytes: data.into(),
         };
         let bytes = to_bytes(&pkt).expect("serialize");
         let back: media::Packet = from_bytes(&bytes).expect("deserialize");
         prop_assert_eq!(back, pkt);
+    }
+
+    /// `PayloadBytes` fields are wire-compatible with `Vec<u8>` fields:
+    /// the encodings are byte-identical in both directions, including
+    /// for slices (only the viewed range is written).
+    #[test]
+    fn payload_bytes_is_wire_compatible_with_vec(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..64,
+    ) {
+        use infopipes::PayloadBytes;
+        let as_vec = to_bytes(&data).expect("vec encode");
+        let as_payload = to_bytes(&PayloadBytes::from_vec(data.clone())).expect("payload encode");
+        prop_assert_eq!(&as_vec, &as_payload);
+        let back: PayloadBytes = from_bytes(&as_vec).expect("payload decode");
+        prop_assert_eq!(back.as_slice(), data.as_slice());
+        // A slice encodes exactly its viewed bytes.
+        let start = cut.min(data.len());
+        let sliced = PayloadBytes::from_vec(data.clone()).slice(start..);
+        let enc = to_bytes(&sliced).expect("slice encode");
+        let expect = to_bytes(&data[start..].to_vec()).expect("tail encode");
+        prop_assert_eq!(enc, expect);
     }
 }
