@@ -64,6 +64,7 @@ mod graph;
 mod item;
 mod payload;
 pub mod plan;
+mod pool;
 mod pump;
 mod runtime;
 mod stage;
@@ -78,6 +79,7 @@ pub use graph::{InboxSender, Node, NodeId, Pipeline};
 pub use item::{Item, Meta};
 pub use payload::PayloadBytes;
 pub use plan::{Exec, Mode, PlanReport, SectionReport, StagePlacement};
+pub use pool::{BufferPool, PoolBuffer, PoolStats};
 pub use pump::{ClockedPump, CycleOutcome, FreePump, Pump, Schedule};
 pub use runtime::{EventCtx, EventSubscription, RunningPipeline, StageCtx};
 pub use stage::{ActiveObject, Consumer, Function, Producer, Stage, Style};

@@ -32,20 +32,42 @@
 //! buffers with equal contents compare equal even when they do not share
 //! memory, and aliasing slices of different ranges compare unequal.
 
+use crate::pool::PooledMem;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// The shared allocation behind a [`PayloadBytes`] view: either a plain
+/// heap sealing or a recycled buffer from a
+/// [`BufferPool`](crate::BufferPool). Both are immutable while any view
+/// is alive; a pooled backing is additionally *reused* once its last
+/// view drops (the pool's recycle-on-last-drop contract).
+#[derive(Clone)]
+enum Backing {
+    Shared(Arc<[u8]>),
+    Pooled(Arc<PooledMem>),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Shared(buf) => buf,
+            Backing::Pooled(mem) => &mem.data,
+        }
+    }
+}
+
 /// A cheaply-cloneable, immutable byte buffer backed by a shared
-/// `Arc<[u8]>` allocation, with zero-copy slicing.
+/// allocation (`Arc<[u8]>`, or a pooled buffer sealed through
+/// [`BufferPool`](crate::BufferPool)), with zero-copy slicing.
 ///
 /// See the [module docs](self) for the zero-copy invariants. The empty
 /// buffer is special-cased to a shared static allocation, so
 /// `PayloadBytes::default()` never allocates.
 #[derive(Clone)]
 pub struct PayloadBytes {
-    buf: Arc<[u8]>,
+    buf: Backing,
     off: usize,
     len: usize,
 }
@@ -57,7 +79,7 @@ impl PayloadBytes {
     pub fn new() -> PayloadBytes {
         static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         PayloadBytes {
-            buf: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
+            buf: Backing::Shared(Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..])))),
             off: 0,
             len: 0,
         }
@@ -69,7 +91,7 @@ impl PayloadBytes {
     pub fn from_vec(v: Vec<u8>) -> PayloadBytes {
         let len = v.len();
         PayloadBytes {
-            buf: Arc::from(v),
+            buf: Backing::Shared(Arc::from(v)),
             off: 0,
             len,
         }
@@ -79,10 +101,26 @@ impl PayloadBytes {
     #[must_use]
     pub fn copy_from_slice(s: &[u8]) -> PayloadBytes {
         PayloadBytes {
-            buf: Arc::from(s),
+            buf: Backing::Shared(Arc::from(s)),
             off: 0,
             len: s.len(),
         }
+    }
+
+    /// Wraps a pool-owned buffer as an immutable view
+    /// ([`PoolBuffer::seal`](crate::PoolBuffer::seal)).
+    pub(crate) fn pooled(mem: Arc<PooledMem>, len: usize) -> PayloadBytes {
+        PayloadBytes {
+            buf: Backing::Pooled(mem),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Whether this view is backed by a pool-recycled buffer.
+    #[must_use]
+    pub fn is_pooled(&self) -> bool {
+        matches!(self.buf, Backing::Pooled(_))
     }
 
     /// Length of the viewed bytes.
@@ -100,7 +138,7 @@ impl PayloadBytes {
     /// The viewed bytes.
     #[must_use]
     pub fn as_slice(&self) -> &[u8] {
-        &self.buf[self.off..self.off + self.len]
+        &self.buf.bytes()[self.off..self.off + self.len]
     }
 
     /// Address of the first viewed byte. Stable across clones and
@@ -136,7 +174,7 @@ impl PayloadBytes {
             self.len
         );
         PayloadBytes {
-            buf: Arc::clone(&self.buf),
+            buf: self.buf.clone(),
             off: self.off + start,
             len: end - start,
         }
@@ -168,13 +206,21 @@ impl PayloadBytes {
     /// (regardless of range). True after any zero-copy crossing.
     #[must_use]
     pub fn shares_allocation_with(&self, other: &PayloadBytes) -> bool {
-        Arc::ptr_eq(&self.buf, &other.buf)
+        match (&self.buf, &other.buf) {
+            (Backing::Shared(a), Backing::Shared(b)) => Arc::ptr_eq(a, b),
+            (Backing::Pooled(a), Backing::Pooled(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
-    /// Number of live views of the backing allocation.
+    /// Number of live references to the backing allocation. For pooled
+    /// backings this includes the pool's own tracking reference.
     #[must_use]
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.buf)
+        match &self.buf {
+            Backing::Shared(buf) => Arc::strong_count(buf),
+            Backing::Pooled(mem) => Arc::strong_count(mem),
+        }
     }
 
     /// Detaches the viewed bytes into an owned `Vec` (a copy; use only

@@ -1,0 +1,449 @@
+//! `BufferPool`: fixed-size-class recycled buffers for the sealing step
+//! of the payload path.
+//!
+//! [`PayloadBytes`] made sealing the *only copy* on the data path; this
+//! module makes it the only *allocation* too. A pool hands out writable
+//! [`PoolBuffer`]s drawn from per-size-class freelists; sealing one
+//! yields an ordinary [`PayloadBytes`] that is shared, sliced, and
+//! transmitted exactly like a heap-sealed buffer — downstream layers
+//! cannot tell the difference.
+//!
+//! # The recycle-on-last-drop contract
+//!
+//! A pooled buffer is reusable only when **the last `PayloadBytes`
+//! referring to it is dropped** — never earlier:
+//!
+//! * Sealing stores one reference inside the pool and hands the caller a
+//!   [`PayloadBytes`] holding another. Clones and slices take further
+//!   references, as usual.
+//! * [`BufferPool::acquire`] only reuses a buffer whose *pool reference
+//!   is the last one left* (`Arc::strong_count == 1`). While any alias —
+//!   a clone held by a producer, a slice parked in a transport queue —
+//!   is alive, the buffer is skipped, so an alias can never observe its
+//!   bytes change underneath it (the immutability invariant of
+//!   [`PayloadBytes`] holds for pooled backings too; the transport
+//!   conformance suite asserts it across every backend).
+//! * There is no explicit release call and nothing to leak: dropping the
+//!   last alias *is* the return to the pool, and dropping the pool
+//!   itself simply frees buffers as their aliases die.
+//!
+//! In steady state — stable message sizes, bounded pipeline depth — every
+//! acquire is a hit and sealing performs **zero heap allocations**: the
+//! freelist pop, the clear, the serializer's writes into retained
+//! capacity, and the seal are all allocation-free (measured by
+//! `alloc_report` in the bench crate).
+//!
+//! # Tuning knobs
+//!
+//! * **Size classes** ([`BufferPool::with_classes`]): an acquire is
+//!   served from the smallest class ≥ the requested capacity; requests
+//!   above the largest class fall back to plain unpooled allocations
+//!   (counted in [`PoolStats::oversize`]).
+//! * **Per-class depth** (`per_class`): how many buffers a class retains.
+//!   More depth tolerates more frames in flight at once before misses;
+//!   each retained buffer pins its class's bytes.
+
+use crate::payload::PayloadBytes;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default size classes: 256 B … 1 MiB in 4x steps, covering control
+/// messages through video frames.
+const DEFAULT_CLASSES: [usize; 7] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+];
+
+/// Default per-class freelist depth.
+const DEFAULT_PER_CLASS: usize = 32;
+
+/// The backing memory of one pooled buffer. `PayloadBytes` holds these
+/// behind an `Arc`; the pool keeps its own reference and reuses the
+/// buffer only once every outside reference is gone.
+#[derive(Debug)]
+pub(crate) struct PooledMem {
+    pub(crate) data: Vec<u8>,
+}
+
+struct SizeClass {
+    size: usize,
+    /// Every buffer of this class the pool tracks — free and in-flight
+    /// mixed; an entry is free iff the pool holds its only reference.
+    buffers: Mutex<VecDeque<Arc<PooledMem>>>,
+}
+
+struct PoolShared {
+    classes: Vec<SizeClass>,
+    per_class: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    oversize: AtomicU64,
+}
+
+/// A snapshot of pool counters (see [`BufferPool::stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Acquires served by recycling a previously sealed buffer.
+    pub hits: u64,
+    /// Acquires that had to allocate (includes `oversize`).
+    pub misses: u64,
+    /// Misses whose request exceeded the largest size class (served by a
+    /// plain unpooled allocation).
+    pub oversize: u64,
+    /// Tracked buffers currently aliased outside the pool (sealed
+    /// payloads still alive somewhere).
+    pub outstanding: usize,
+    /// Total buffers the pool tracks (free + outstanding).
+    pub pooled: usize,
+}
+
+impl PoolStats {
+    /// The fraction of acquires that allocated, 0.0–1.0 — the
+    /// memory-pressure signal feedback controllers consume (0.0 when
+    /// nothing was acquired yet).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A pool of recycled byte buffers that seal into [`PayloadBytes`]. See
+/// the [module docs](self) for the recycle-on-last-drop contract.
+///
+/// Cheap to clone (a shared handle); every clone draws from and recycles
+/// into the same freelists.
+#[derive(Clone)]
+pub struct BufferPool {
+    shared: Arc<PoolShared>,
+}
+
+impl BufferPool {
+    /// A pool with the default size classes (256 B – 1 MiB in 4x steps)
+    /// and per-class depth (32 buffers).
+    #[must_use]
+    pub fn new() -> BufferPool {
+        BufferPool::with_classes(&DEFAULT_CLASSES, DEFAULT_PER_CLASS)
+    }
+
+    /// A pool with custom size classes and per-class freelist depth.
+    /// Classes are sorted and deduplicated; zero-sized classes are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no positive class size remains or `per_class` is zero.
+    #[must_use]
+    pub fn with_classes(sizes: &[usize], per_class: usize) -> BufferPool {
+        let mut sizes: Vec<usize> = sizes.iter().copied().filter(|&s| s > 0).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert!(!sizes.is_empty(), "a pool needs at least one size class");
+        assert!(per_class > 0, "per-class depth must be positive");
+        BufferPool {
+            shared: Arc::new(PoolShared {
+                classes: sizes
+                    .into_iter()
+                    .map(|size| SizeClass {
+                        size,
+                        buffers: Mutex::new(VecDeque::with_capacity(per_class)),
+                    })
+                    .collect(),
+                per_class,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                oversize: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Acquires a writable buffer with at least `min_capacity` bytes of
+    /// capacity, recycled from the smallest fitting size class when one
+    /// of its buffers is free (no live aliases), freshly allocated
+    /// otherwise. The buffer starts empty.
+    #[must_use]
+    pub fn acquire(&self, min_capacity: usize) -> PoolBuffer {
+        let shared = &self.shared;
+        let Some(ci) = shared.classes.iter().position(|c| c.size >= min_capacity) else {
+            // Above the largest class: a plain allocation the pool never
+            // tracks, freed normally when its last alias drops.
+            shared.oversize.fetch_add(1, Ordering::Relaxed);
+            shared.misses.fetch_add(1, Ordering::Relaxed);
+            return PoolBuffer {
+                mem: Some(Arc::new(PooledMem {
+                    data: Vec::with_capacity(min_capacity),
+                })),
+                pool: Arc::clone(shared),
+                class: None,
+            };
+        };
+        let class = &shared.classes[ci];
+        {
+            let mut q = class.buffers.lock();
+            // Rotate through the class once: an entry is free iff we hold
+            // its only reference after popping it off the list.
+            for _ in 0..q.len() {
+                let Some(mut mem) = q.pop_front() else { break };
+                match Arc::get_mut(&mut mem) {
+                    Some(m) => {
+                        m.data.clear();
+                        shared.hits.fetch_add(1, Ordering::Relaxed);
+                        return PoolBuffer {
+                            mem: Some(mem),
+                            pool: Arc::clone(shared),
+                            class: Some(ci),
+                        };
+                    }
+                    // Still aliased by live payloads: not reusable yet.
+                    None => q.push_back(mem),
+                }
+            }
+        }
+        shared.misses.fetch_add(1, Ordering::Relaxed);
+        PoolBuffer {
+            mem: Some(Arc::new(PooledMem {
+                data: Vec::with_capacity(class.size),
+            })),
+            pool: Arc::clone(shared),
+            class: Some(ci),
+        }
+    }
+
+    /// A snapshot of the pool's counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let mut outstanding = 0;
+        let mut pooled = 0;
+        for class in &self.shared.classes {
+            let q = class.buffers.lock();
+            pooled += q.len();
+            outstanding += q.iter().filter(|m| Arc::strong_count(m) > 1).count();
+        }
+        PoolStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            oversize: self.shared.oversize.load(Ordering::Relaxed),
+            outstanding,
+            pooled,
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BufferPool")
+            .field("classes", &self.shared.classes.len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+/// A writable buffer checked out of a [`BufferPool`]. Fill it through
+/// [`PoolBuffer::buf_mut`], then [`PoolBuffer::seal`] it into an
+/// immutable [`PayloadBytes`]. Dropping an unsealed buffer returns it to
+/// the pool unused.
+pub struct PoolBuffer {
+    /// Present until sealed or dropped; while it is, this is the only
+    /// reference, so `buf_mut` hands out `&mut` soundly.
+    mem: Option<Arc<PooledMem>>,
+    pool: Arc<PoolShared>,
+    /// The size class to recycle into; `None` for oversize (untracked).
+    class: Option<usize>,
+}
+
+impl PoolBuffer {
+    /// The writable bytes (empty at acquire). Growing past the buffer's
+    /// capacity works but allocates; the grown capacity is what gets
+    /// recycled.
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        let mem = self.mem.as_mut().expect("unsealed buffer");
+        &mut Arc::get_mut(mem)
+            .expect("writer holds the only reference")
+            .data
+    }
+
+    /// Current capacity of the underlying buffer.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.mem.as_ref().expect("unsealed buffer").data.capacity()
+    }
+
+    /// Seals the written bytes into an immutable shared [`PayloadBytes`]
+    /// and registers the buffer for recycling once every alias of the
+    /// returned payload is gone. Allocation-free.
+    #[must_use]
+    pub fn seal(mut self) -> PayloadBytes {
+        let mem = self.mem.take().expect("sealed once");
+        let len = mem.data.len();
+        self.track(&mem);
+        PayloadBytes::pooled(mem, len)
+    }
+
+    /// Puts a reference into the pool's class list (bounded) so future
+    /// acquires can find the buffer once it goes quiet.
+    fn track(&self, mem: &Arc<PooledMem>) {
+        if let Some(ci) = self.class {
+            let mut q = self.pool.classes[ci].buffers.lock();
+            if q.len() < self.pool.per_class {
+                q.push_back(Arc::clone(mem));
+            }
+        }
+    }
+}
+
+impl Drop for PoolBuffer {
+    fn drop(&mut self) {
+        // Unsealed: hand the buffer straight back for reuse.
+        if let Some(mem) = self.mem.take() {
+            self.track(&mem);
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuffer")
+            .field("capacity", &self.mem.as_ref().map(|m| m.data.capacity()))
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_buffers_recycle_on_last_drop() {
+        let pool = BufferPool::with_classes(&[64], 4);
+        let mut b = pool.acquire(16);
+        b.buf_mut().extend_from_slice(&[1, 2, 3]);
+        let sealed = b.seal();
+        let ptr = sealed.as_ptr();
+        assert_eq!(&sealed[..], &[1, 2, 3]);
+
+        // While the payload is alive the buffer must not be reused.
+        let mut other = pool.acquire(16);
+        other.buf_mut().extend_from_slice(&[9; 3]);
+        let poison = other.seal();
+        assert_ne!(poison.as_ptr(), ptr, "live alias must not be reused");
+        assert_eq!(&sealed[..], &[1, 2, 3], "alias unchanged");
+        assert_eq!(pool.stats().outstanding, 2);
+
+        // Dropping the last alias returns the buffer; the next acquire
+        // reuses the same allocation.
+        drop(sealed);
+        let mut again = pool.acquire(16);
+        again.buf_mut().extend_from_slice(&[7]);
+        let resealed = again.seal();
+        assert_eq!(resealed.as_ptr(), ptr, "recycled the same backing");
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn clones_and_slices_keep_the_buffer_checked_out() {
+        let pool = BufferPool::with_classes(&[64], 4);
+        let mut b = pool.acquire(8);
+        b.buf_mut().extend_from_slice(&[5; 8]);
+        let sealed = b.seal();
+        let ptr = sealed.as_ptr();
+        let slice = sealed.slice(2..6);
+        drop(sealed);
+        // The slice still aliases the allocation: no reuse.
+        let p2 = pool.acquire(8).seal();
+        assert_ne!(p2.as_ptr(), ptr);
+        assert_eq!(&slice[..], &[5; 4]);
+        drop((slice, p2));
+        // Everything released: now it recycles.
+        let mut b = pool.acquire(8);
+        b.buf_mut().push(1);
+        assert_eq!(b.seal().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn size_class_selection_and_oversize() {
+        let pool = BufferPool::with_classes(&[16, 64, 256], 2);
+        assert!(pool.acquire(10).capacity() >= 10);
+        assert_eq!(pool.acquire(16).capacity(), 16);
+        assert_eq!(pool.acquire(17).capacity(), 64);
+        assert_eq!(pool.acquire(256).capacity(), 256);
+        // Above the largest class: served unpooled and counted.
+        let big = pool.acquire(1000);
+        assert!(big.capacity() >= 1000);
+        assert_eq!(pool.stats().oversize, 1);
+        // Oversize buffers are not tracked for reuse: dropping one adds
+        // nothing to the freelist, and the next oversize acquire is
+        // another miss, never a hit. (Address inequality would be the
+        // obvious check, but the system allocator may hand the freed
+        // block straight back.)
+        drop(big.seal());
+        let before = pool.stats();
+        drop(pool.acquire(1000).seal());
+        let after = pool.stats();
+        assert_eq!(after.oversize, 2);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.pooled, before.pooled);
+    }
+
+    #[test]
+    fn per_class_depth_bounds_retention() {
+        let pool = BufferPool::with_classes(&[32], 2);
+        let a = pool.acquire(8).seal();
+        let b = pool.acquire(8).seal();
+        let c = pool.acquire(8).seal();
+        drop((a, b, c));
+        let stats = pool.stats();
+        assert_eq!(stats.pooled, 2, "freelist capped at per_class");
+        assert_eq!(stats.outstanding, 0);
+    }
+
+    #[test]
+    fn unsealed_drop_recycles() {
+        let pool = BufferPool::with_classes(&[32], 4);
+        {
+            let mut b = pool.acquire(8);
+            b.buf_mut().push(1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.pooled, 1);
+        assert_eq!(stats.outstanding, 0);
+        let _ = pool.acquire(8);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_rate_reflects_pressure() {
+        let pool = BufferPool::with_classes(&[32], 8);
+        assert_eq!(pool.stats().miss_rate(), 0.0);
+        // Hold everything: every acquire misses.
+        let held: Vec<PayloadBytes> = (0..4).map(|_| pool.acquire(8).seal()).collect();
+        assert_eq!(pool.stats().miss_rate(), 1.0);
+        drop(held);
+        for _ in 0..4 {
+            let _ = pool.acquire(8).seal();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 4);
+        assert!(stats.miss_rate() < 0.6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the buffer pool: size-class selection must hand
+//! back the smallest fitting class, the hit/miss/outstanding counters
+//! must account for every acquisition, and buffers must recycle exactly
+//! when their last reference drops.
+
+use infopipes::BufferPool;
+use proptest::prelude::*;
+
+/// The pool's default size-class ladder (kept in sync with `pool.rs`;
+/// asserted against real capacities below, so drift fails the test).
+const CLASSES: [usize; 7] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+];
+
+/// The smallest class that fits `n`, or `None` when `n` is oversize.
+fn expected_class(n: usize) -> Option<usize> {
+    CLASSES.iter().copied().find(|&c| c >= n)
+}
+
+fn request_sizes() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..(2 << 20), 1..32)
+}
+
+proptest! {
+    /// An acquired buffer always has at least the requested capacity,
+    /// and lands in the smallest size class that fits the request.
+    #[test]
+    fn size_class_selection_is_smallest_fit(sizes in request_sizes()) {
+        let pool = BufferPool::new();
+        for n in sizes {
+            let buf = pool.acquire(n);
+            prop_assert!(buf.capacity() >= n, "capacity {} < request {n}", buf.capacity());
+            if let Some(class) = expected_class(n) {
+                prop_assert_eq!(buf.capacity(), class, "request {} classed wrongly", n);
+            }
+        }
+    }
+
+    /// Counter accounting: every acquisition is exactly one hit or one
+    /// miss, oversize requests are counted, and `outstanding` tracks the
+    /// sealed payloads still alive.
+    #[test]
+    fn counters_account_for_every_acquisition(sizes in request_sizes()) {
+        let pool = BufferPool::new();
+        let mut live = Vec::new();
+        let mut expect_oversize = 0u64;
+        for &n in &sizes {
+            if expected_class(n).is_none() {
+                expect_oversize += 1;
+            }
+            live.push(pool.acquire(n).seal());
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.hits + stats.misses, sizes.len() as u64);
+        prop_assert_eq!(stats.oversize, expect_oversize);
+        // Oversize buffers are untracked, so only classed ones count as
+        // outstanding.
+        let classed = sizes.iter().filter(|&&n| expected_class(n).is_some()).count();
+        prop_assert_eq!(stats.outstanding, classed);
+
+        // Dropping every payload hands the classed buffers back.
+        drop(live);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.outstanding, 0);
+        prop_assert!(stats.miss_rate() <= 1.0);
+    }
+
+    /// Recycle-on-last-drop: once a sealed payload's final reference
+    /// drops, re-acquiring the same class is a pool hit, and the hit
+    /// buffer never shows stale bytes.
+    #[test]
+    fn released_buffers_recycle_as_hits(n in 0usize..(1 << 20), fill in any::<u8>()) {
+        let pool = BufferPool::new();
+        let mut buf = pool.acquire(n);
+        buf.buf_mut().resize(n.min(64), fill);
+        let sealed = buf.seal();
+        let held = sealed.clone();
+        drop(sealed);
+        // A still-live clone blocks recycling: the next acquire misses.
+        drop(pool.acquire(n));
+        prop_assert_eq!(pool.stats().hits, 0, "aliased buffer must not be reissued");
+        drop(held);
+        let mut again = pool.acquire(n);
+        prop_assert_eq!(pool.stats().hits, 1, "released buffer must recycle");
+        prop_assert!(again.buf_mut().is_empty(), "recycled buffers come back cleared");
+    }
+}

@@ -19,4 +19,4 @@ pub use controller::{
 };
 pub use drift::DriftEstimator;
 pub use loopctl::{FeedbackLoop, LoopStats};
-pub use sensor::{FillLevelSensor, RateSensor, SensorReading};
+pub use sensor::{FillLevelSensor, GaugeSensor, RateSensor, SensorReading};

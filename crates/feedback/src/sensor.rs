@@ -145,9 +145,69 @@ impl FillLevelSensor {
     }
 }
 
+/// Samples any externally-maintained scalar on demand: a polled sensor
+/// over a closure. This is how transport-level pressure counters — a
+/// link's pool-miss rate, the UDP receive-queue shed count — become
+/// feedback readings a controller can react to, without the transport
+/// depending on this crate.
+///
+/// ```
+/// use feedback::GaugeSensor;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let sheds = Arc::new(AtomicU64::new(0));
+/// let probe = Arc::clone(&sheds);
+/// let sensor = GaugeSensor::new("udp-rx-shed", move || {
+///     probe.load(Ordering::Relaxed) as f64
+/// });
+/// sheds.store(3, Ordering::Relaxed);
+/// assert_eq!(sensor.read().value, 3.0);
+/// ```
+pub struct GaugeSensor {
+    name: String,
+    read: Box<dyn Fn() -> f64 + Send + Sync>,
+}
+
+impl GaugeSensor {
+    /// Creates a sensor reporting `read()` under the given reading name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, read: impl Fn() -> f64 + Send + Sync + 'static) -> Self {
+        GaugeSensor {
+            name: name.into(),
+            read: Box::new(read),
+        }
+    }
+
+    /// Samples the gauge now.
+    #[must_use]
+    pub fn read(&self) -> SensorReading {
+        SensorReading {
+            name: self.name.clone(),
+            value: (self.read)(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_sensor_samples_the_closure() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let misses = Arc::new(AtomicU64::new(0));
+        let probe = Arc::clone(&misses);
+        let s = GaugeSensor::new("pool-miss-rate", move || {
+            probe.load(Ordering::Relaxed) as f64 / 100.0
+        });
+        assert_eq!(s.read().value, 0.0);
+        misses.store(50, Ordering::Relaxed);
+        let r = s.read();
+        assert_eq!(r.name, "pool-miss-rate");
+        assert_eq!(r.value, 0.5);
+    }
 
     #[test]
     fn reading_round_trips_through_events() {

@@ -7,8 +7,8 @@
 //! boundaries of their own (the simulator, in-process rings) skip it
 //! entirely and carry [`Frame`](crate::Frame) values directly.
 
-use infopipes::PayloadBytes;
-use std::io::{self, Read, Write};
+use infopipes::{BufferPool, PayloadBytes};
+use std::io::{self, IoSlice, Read, Write};
 
 /// What a frame carries.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -53,7 +53,58 @@ impl FrameKind {
 /// not allocate unbounded memory.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Writes one frame.
+/// Length of the `[kind: u8][len: u32 LE]` frame header.
+pub const HEADER_LEN: usize = 5;
+
+/// Assembles the 5-byte frame header on the stack.
+pub(crate) fn encode_header(kind: FrameKind, payload_len: usize) -> [u8; HEADER_LEN] {
+    let len = u32::try_from(payload_len).expect("MAX_FRAME fits in u32");
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = kind.to_byte();
+    header[1..].copy_from_slice(&len.to_le_bytes());
+    header
+}
+
+/// Writes every byte of `bufs` with vectored writes, returning the number
+/// of `write_vectored` calls made (the syscall count on a raw socket).
+///
+/// Tracks the remaining *byte* count rather than slice count, so empty
+/// slices (zero-length payloads) never trigger a spurious `WriteZero`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; reports `WriteZero` if the writer makes no
+/// progress while bytes remain.
+pub(crate) fn write_all_vectored(
+    w: &mut impl Write,
+    bufs: &mut [IoSlice<'_>],
+) -> io::Result<usize> {
+    let mut remaining: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut bufs = bufs;
+    let mut calls = 0usize;
+    while remaining > 0 {
+        match w.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame batch",
+                ));
+            }
+            Ok(n) => {
+                calls += 1;
+                remaining -= n;
+                IoSlice::advance_slices(&mut bufs, n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(calls)
+}
+
+/// Writes one frame: a stack-assembled 5-byte header plus the payload in
+/// a single vectored write (one syscall on sockets whose `write_vectored`
+/// is genuine scatter/gather; at most two on plain writers).
 ///
 /// # Errors
 ///
@@ -65,10 +116,9 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::R
             "frame exceeds MAX_FRAME",
         ));
     }
-    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
-    w.write_all(&[kind.to_byte()])?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
+    let header = encode_header(kind, payload.len());
+    let mut bufs = [IoSlice::new(&header), IoSlice::new(payload)];
+    write_all_vectored(w, &mut bufs)?;
     w.flush()
 }
 
@@ -103,6 +153,42 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, PayloadByt
     Ok(Some((kind, PayloadBytes::from_vec(payload))))
 }
 
+/// Reads one frame into a buffer drawn from `pool`; `Ok(None)` on a clean
+/// end of stream.
+///
+/// The allocation-free variant of [`read_frame`]: in steady state the
+/// payload lands in a recycled pool buffer and is sealed without any heap
+/// allocation.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects malformed kinds and oversized lengths.
+pub fn read_frame_in(
+    r: &mut impl Read,
+    pool: &BufferPool,
+) -> io::Result<Option<(FrameKind, PayloadBytes)>> {
+    let mut kind_byte = [0u8; 1];
+    match r.read_exact(&mut kind_byte) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let kind = FrameKind::from_byte(kind_byte[0])?;
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut buf = pool.acquire(len);
+    buf.buf_mut().resize(len, 0);
+    r.read_exact(buf.buf_mut())?;
+    Ok(Some((kind, buf.seal())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +215,27 @@ mod tests {
             Some((FrameKind::Fin, PayloadBytes::new()))
         );
         assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn pooled_reads_round_trip_and_recycle() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Data, b"hello").unwrap();
+        write_frame(&mut buf, FrameKind::Fin, b"").unwrap();
+
+        let pool = BufferPool::new();
+        let mut cur = Cursor::new(buf.clone());
+        let (kind, payload) = read_frame_in(&mut cur, &pool).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Data);
+        assert_eq!(payload.as_slice(), b"hello");
+        assert!(payload.is_pooled());
+        drop(payload);
+
+        // The recycled buffer serves the second pass without a miss.
+        let mut cur = Cursor::new(buf);
+        let (_, payload) = read_frame_in(&mut cur, &pool).unwrap().unwrap();
+        assert_eq!(payload.as_slice(), b"hello");
+        assert!(pool.stats().hits >= 1);
     }
 
     #[test]

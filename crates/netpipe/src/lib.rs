@@ -50,14 +50,15 @@ pub mod remote;
 pub mod transport;
 pub mod wire;
 
-pub use framing::{read_frame, write_frame, FrameKind};
-pub use infopipes::PayloadBytes;
+pub use framing::{read_frame, read_frame_in, write_frame, FrameKind};
+pub use infopipes::{BufferPool, PayloadBytes, PoolStats};
 pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
 pub use transport::{
-    Acceptor, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats, NetSendEnd,
-    PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor, SimConfig, SimLink,
-    SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport, TransportError, UdpAcceptor,
-    UdpLink, UdpTransport, SEND_SATURATION_READING,
+    Acceptor, BatchPolicy, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats,
+    NetSendEnd, PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor,
+    SimConfig, SimLink, SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport,
+    TransportError, UdpAcceptor, UdpLink, UdpTransport, POOL_MISS_READING, SEND_SATURATION_READING,
+    UDP_RX_SHED_READING,
 };

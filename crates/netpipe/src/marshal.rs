@@ -13,7 +13,7 @@
 
 use crate::transport::PeerIdentity;
 use crate::wire;
-use infopipes::{Function, Item, ItemType, PayloadBytes, Stage};
+use infopipes::{BufferPool, Function, Item, ItemType, PayloadBytes, Stage};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -35,6 +35,11 @@ pub struct Marshal<T> {
     name: String,
     /// The node name stamped into the outgoing location property.
     from_node: Option<String>,
+    /// Pool the sealed buffers are drawn from; `None` allocates fresh.
+    pool: Option<BufferPool>,
+    /// Size hint for the next acquisition: the previous message's
+    /// serialized length (streams of similar messages stay in one class).
+    last_len: usize,
     _marker: PhantomData<fn(T)>,
 }
 
@@ -45,8 +50,20 @@ impl<T: Serialize + Send + 'static> Marshal<T> {
         Marshal {
             name: name.into(),
             from_node: None,
+            pool: None,
+            last_len: 0,
             _marker: PhantomData,
         }
+    }
+
+    /// Seal outgoing messages into buffers drawn from `pool` instead of
+    /// fresh allocations — in steady state the marshal step is then
+    /// allocation-free (the pool recycles each buffer when the last
+    /// downstream reference drops).
+    #[must_use]
+    pub fn with_pool(mut self, pool: &BufferPool) -> Marshal<T> {
+        self.pool = Some(pool.clone());
+        self
     }
 
     /// Also record the producer-side node name in the flow's location
@@ -90,7 +107,15 @@ impl<T: Serialize + Send + 'static> Function for Marshal<T> {
         let (value, _) = item.into_payload::<T>().ok()?;
         // Marshal into a single owned buffer and seal it; downstream
         // crossings (tees, transports) share it without copying.
-        let bytes = wire::to_payload(&value).ok()?;
+        let bytes = match &self.pool {
+            Some(pool) => {
+                let hint = self.last_len.max(64);
+                let sealed = wire::to_payload_in(pool, hint, &value).ok()?;
+                self.last_len = sealed.len();
+                sealed
+            }
+            None => wire::to_payload(&value).ok()?,
+        };
         let mut out = Item::bytes(bytes);
         out.meta = meta;
         Some(out)
@@ -289,6 +314,23 @@ mod tests {
         assert_eq!(w.len(), 2);
         assert!(!w.is_empty());
         assert!(WireBytes::new().is_empty());
+    }
+
+    #[test]
+    fn pooled_marshal_recycles_buffers() {
+        let pool = BufferPool::new();
+        let mut m = Marshal::<u32>::new("m").with_pool(&pool);
+
+        let first = m.convert(Item::cloneable(7u32)).unwrap();
+        let bytes = first.as_payload_bytes().unwrap().clone();
+        assert!(bytes.is_pooled());
+        drop(first);
+        drop(bytes);
+
+        // The second marshal reuses the recycled buffer: a pool hit.
+        let second = m.convert(Item::cloneable(9u32)).unwrap();
+        assert!(second.as_payload_bytes().unwrap().is_pooled());
+        assert!(pool.stats().hits >= 1, "expected a recycled-buffer hit");
     }
 
     #[test]

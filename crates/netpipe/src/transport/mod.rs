@@ -308,6 +308,15 @@ pub struct LinkStats {
     pub refused: u64,
     /// Payload bytes accepted for sending.
     pub bytes_sent: u64,
+    /// Actual socket writes (`write_vectored` / `send` syscalls) the link
+    /// performed. In-process backends keep this at zero; on wire backends
+    /// `wire_writes / sent` is the syscalls-per-frame figure batching
+    /// drives below one.
+    pub wire_writes: u64,
+    /// Frames shed because the receive queue was full — a subset of
+    /// `dropped`, split out so memory pressure on the receive side is
+    /// observable separately from send-side loss.
+    pub rx_shed: u64,
 }
 
 impl LinkStats {
@@ -331,6 +340,8 @@ pub(crate) struct SharedStats {
     pub(crate) dropped: AtomicU64,
     pub(crate) refused: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
+    pub(crate) wire_writes: AtomicU64,
+    pub(crate) rx_shed: AtomicU64,
 }
 
 impl SharedStats {
@@ -341,6 +352,8 @@ impl SharedStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            wire_writes: self.wire_writes.load(Ordering::Relaxed),
+            rx_shed: self.rx_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -544,6 +557,58 @@ pub(crate) fn drain_receiver<L: Link>(
 /// send-side congestion observations (see
 /// [`NetSendEnd::with_congestion_reports`]).
 pub const SEND_SATURATION_READING: &str = "net-send-saturation";
+
+/// Reading name for the pool-miss rate of a link's buffer pool: the
+/// fraction of acquisitions that fell back to a fresh allocation (0..1).
+/// Rising values mean downstream consumers hold payloads longer than the
+/// pool can recycle them — memory pressure a congestion controller can
+/// react to just like send saturation.
+pub const POOL_MISS_READING: &str = "pool-miss-rate";
+
+/// Reading name for the UDP receive-queue shed count: frames discarded
+/// because the bounded receive queue was full. Reported as a cumulative
+/// count; pair with a rate window when controlling on it.
+pub const UDP_RX_SHED_READING: &str = "udp-rx-shed";
+
+/// How a wire-backed link coalesces small data frames before writing.
+///
+/// A batch closes when it reaches `max_frames` frames or `max_bytes`
+/// payload bytes, when a control/event frame needs to overtake, at end of
+/// stream, or — if `linger` is set — when the linger deadline passes with
+/// the batch still undersized. The default (`linger: None`) flushes as
+/// soon as the sender's queue runs dry, trading no latency for fewer
+/// syscalls only under genuine load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum data frames coalesced into one vectored write.
+    pub max_frames: usize,
+    /// Maximum payload bytes coalesced into one vectored write.
+    pub max_bytes: usize,
+    /// How long to hold an undersized batch open waiting for more frames;
+    /// `None` sends as soon as the queue is drained.
+    pub linger: Option<Duration>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_frames: 64,
+            max_bytes: 256 * 1024,
+            linger: None,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy that never coalesces: each frame is written on its own.
+    #[must_use]
+    pub fn unbatched() -> BatchPolicy {
+        BatchPolicy {
+            max_frames: 1,
+            ..BatchPolicy::default()
+        }
+    }
+}
 
 /// The default congestion-report window (data sends per reading).
 const SATURATION_WINDOW: u64 = 32;

@@ -32,12 +32,12 @@
 //! I/O-boundary copies, with none elsewhere.
 
 use super::{
-    Acceptor, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus, SharedStats,
-    Transport, TransportError,
+    Acceptor, BatchPolicy, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus,
+    SharedStats, Transport, TransportError,
 };
 use crate::proto::WireEvent;
 use crate::wire;
-use infopipes::PayloadBytes;
+use infopipes::{BufferPool, PayloadBytes};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, UdpSocket};
@@ -51,10 +51,17 @@ const TAG_DATA: u8 = 0;
 const TAG_EVENT: u8 = 1;
 const TAG_CONTROL: u8 = 2;
 const TAG_FIN: u8 = 3;
+/// A packed datagram of several small data frames:
+/// `[TAG_BATCH]([len: u32 LE][payload])*` — N frames for one `send`.
+const TAG_BATCH: u8 = 4;
 
 /// The largest payload the backend will put in one datagram by default,
 /// comfortably under the UDP maximum (65507) to leave header room.
 pub const DEFAULT_MAX_DATAGRAM: usize = 60 * 1024;
+
+/// How long a partial packed datagram is held open before the flusher
+/// sends it, when the policy doesn't specify a linger.
+const DEFAULT_UDP_LINGER: Duration = Duration::from_millis(1);
 
 fn encode(frame: &Frame) -> Option<(u8, Vec<u8>)> {
     match frame {
@@ -65,68 +72,59 @@ fn encode(frame: &Frame) -> Option<(u8, Vec<u8>)> {
     }
 }
 
-fn decode(tag: u8, payload: &[u8]) -> Option<Frame> {
+/// Seals `payload` into a pooled buffer — the receive-side copy off the
+/// socket, allocation-free once the pool is warm.
+fn seal_pooled(pool: &BufferPool, payload: &[u8]) -> PayloadBytes {
+    let mut b = pool.acquire(payload.len());
+    b.buf_mut().extend_from_slice(payload);
+    b.seal()
+}
+
+/// Decodes one datagram into zero or more frames. A [`TAG_BATCH`]
+/// datagram fans out into one `Data` frame per packed entry; a truncated
+/// trailing entry (corruption) discards the remainder only.
+fn decode_into(tag: u8, payload: &[u8], pool: &BufferPool, push: &mut impl FnMut(Frame)) {
     match tag {
-        TAG_DATA => Some(Frame::Data(PayloadBytes::copy_from_slice(payload))),
-        TAG_EVENT => wire::from_bytes::<WireEvent>(payload)
-            .ok()
-            .map(Frame::Event),
-        TAG_CONTROL => Some(Frame::Control(payload.to_vec())),
-        TAG_FIN => Some(Frame::Fin),
-        _ => None,
+        TAG_DATA => push(Frame::Data(seal_pooled(pool, payload))),
+        TAG_BATCH => {
+            let mut rest = payload;
+            while rest.len() >= 4 {
+                let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+                rest = &rest[4..];
+                if rest.len() < len {
+                    break;
+                }
+                push(Frame::Data(seal_pooled(pool, &rest[..len])));
+                rest = &rest[len..];
+            }
+        }
+        TAG_EVENT => {
+            if let Ok(ev) = wire::from_bytes::<WireEvent>(payload) {
+                push(Frame::Event(ev));
+            }
+        }
+        TAG_CONTROL => push(Frame::Control(payload.to_vec())),
+        TAG_FIN => push(Frame::Fin),
+        _ => {}
     }
 }
 
-/// Sends one frame as a datagram through `send`, charging `stats`.
-fn send_frame(
-    frame: Frame,
-    max_datagram: usize,
-    stats: &SharedStats,
-    fin_sent: &AtomicBool,
-    send: impl Fn(&[u8]) -> std::io::Result<usize>,
-) -> SendStatus {
-    if fin_sent.load(Ordering::Acquire) {
-        return SendStatus::Closed;
-    }
-    match frame {
-        Frame::Data(bytes) => {
-            stats.sent.fetch_add(1, Ordering::Relaxed);
-            if bytes.len() > max_datagram {
-                // An oversized frame cannot ride one datagram: shed it,
-                // like a router refusing a jumbo packet.
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
-                return SendStatus::Dropped;
-            }
-            let mut dgram = Vec::with_capacity(bytes.len() + 1);
-            dgram.push(TAG_DATA);
-            dgram.extend_from_slice(&bytes);
-            match send(&dgram) {
-                Ok(_) => {
-                    stats
-                        .bytes_sent
-                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                    SendStatus::Sent
-                }
-                Err(_) => {
-                    // A full socket buffer is genuine loss on UDP.
-                    stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    SendStatus::Dropped
-                }
-            }
-        }
-        other => {
-            let is_fin = matches!(other, Frame::Fin);
-            let Some((tag, payload)) = encode(&other) else {
-                return SendStatus::Sent;
-            };
-            let mut dgram = Vec::with_capacity(payload.len() + 1);
-            dgram.push(tag);
-            dgram.extend_from_slice(&payload);
-            let _ = send(&dgram);
-            if is_fin {
-                fin_sent.store(true, Ordering::Release);
-            }
-            SendStatus::Sent
+/// The packed datagram under construction on the send side.
+struct TxBatch {
+    /// `[TAG_BATCH]([len][payload])*` so far; empty when no batch is open.
+    buf: Vec<u8>,
+    /// Frames packed into `buf`.
+    frames: u64,
+    /// Payload bytes packed into `buf` (for `bytes_sent` on flush).
+    payload_bytes: u64,
+}
+
+impl TxBatch {
+    fn new() -> TxBatch {
+        TxBatch {
+            buf: Vec::new(),
+            frames: 0,
+            payload_bytes: 0,
         }
     }
 }
@@ -180,7 +178,11 @@ impl RxQueue {
             match frame {
                 Frame::Data(bytes) => {
                     if lanes.data.len() >= RX_QUEUE_FRAMES {
+                        // Receive-queue shed: counted both as a drop (it
+                        // is loss) and separately as `rx_shed`, the
+                        // memory-pressure signal feedback loops watch.
                         stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        stats.rx_shed.fetch_add(1, Ordering::Relaxed);
                     } else {
                         lanes.data.push_back(bytes);
                     }
@@ -257,10 +259,80 @@ struct UdpInner {
     stats: Arc<SharedStats>,
     fin_sent: AtomicBool,
     rx_bound: AtomicBool,
+    /// Pool arriving data payloads are sealed into (shared with the
+    /// listener's [`PeerEntry`] on the server side).
+    rx_pool: BufferPool,
+    /// Small-frame packing policy; `None` sends one datagram per frame.
+    batch: Option<BatchPolicy>,
+    tx_batch: Mutex<TxBatch>,
+    /// The linger flusher thread exists (spawned on first packed frame).
+    flusher_started: AtomicBool,
+}
+
+impl UdpInner {
+    /// Sends one raw datagram toward the peer.
+    fn raw_send(&self, dgram: &[u8]) -> std::io::Result<usize> {
+        match &self.side {
+            LinkSide::Client { socket, .. } => socket.send(dgram),
+            LinkSide::Server { server, peer_addr } => server.socket.send_to(dgram, peer_addr),
+        }
+    }
+
+    /// Sends the pending packed datagram, if any. A failed send sheds
+    /// every frame in the packet — UDP loss is per-datagram.
+    fn flush_batch(&self, batch: &mut TxBatch) {
+        if batch.frames == 0 {
+            return;
+        }
+        match self.raw_send(&batch.buf) {
+            Ok(_) => {
+                self.stats.wire_writes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_sent
+                    .fetch_add(batch.payload_bytes, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats
+                    .dropped
+                    .fetch_add(batch.frames, Ordering::Relaxed);
+            }
+        }
+        batch.buf.clear();
+        batch.frames = 0;
+        batch.payload_bytes = 0;
+    }
+
+    /// Flushes the pending packed datagram (linger expiry, `Fin`, drop).
+    fn flush_pending(&self) {
+        let mut batch = self.tx_batch.lock();
+        self.flush_batch(&mut batch);
+    }
+
+    /// Sends a data frame singly: `[TAG_DATA][payload]`, one datagram.
+    fn send_data_single(&self, bytes: &PayloadBytes) -> SendStatus {
+        let mut dgram = Vec::with_capacity(bytes.len() + 1);
+        dgram.push(TAG_DATA);
+        dgram.extend_from_slice(bytes);
+        match self.raw_send(&dgram) {
+            Ok(_) => {
+                self.stats.wire_writes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_sent
+                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                SendStatus::Sent
+            }
+            Err(_) => {
+                // A full socket buffer is genuine loss on UDP.
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                SendStatus::Dropped
+            }
+        }
+    }
 }
 
 impl Drop for UdpInner {
     fn drop(&mut self) {
+        self.flush_pending();
         if let LinkSide::Server { server, peer_addr } = &self.side {
             server.peers.lock().remove(peer_addr);
         }
@@ -274,6 +346,35 @@ pub struct UdpLink {
 }
 
 impl UdpLink {
+    /// Statistics of the receive-side buffer pool: hit/miss counts and
+    /// the number of payload buffers still checked out downstream.
+    #[must_use]
+    pub fn pool_stats(&self) -> infopipes::PoolStats {
+        self.inner.rx_pool.stats()
+    }
+
+    /// Spawns the linger flusher on first use: a thread holding only a
+    /// `Weak` ref that ticks at the linger interval and sends whatever
+    /// packed datagram is pending, so an undersized batch is never held
+    /// longer than one linger. Exits when the link is gone or finished.
+    fn ensure_flusher(&self, linger: Duration) {
+        if self.inner.flusher_started.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let weak = Arc::downgrade(&self.inner);
+        let linger = linger.max(Duration::from_micros(100));
+        let _ = std::thread::Builder::new()
+            .name("udp-netpipe-flusher".into())
+            .spawn(move || loop {
+                std::thread::sleep(linger);
+                let Some(inner) = weak.upgrade() else { return };
+                inner.flush_pending();
+                if inner.fin_sent.load(Ordering::Acquire) {
+                    return;
+                }
+            });
+    }
+
     /// Drains every datagram currently readable on the client socket
     /// into the rx queue (so control frames can overtake queued data).
     /// A hard socket error — e.g. `ECONNREFUSED` from an ICMP
@@ -294,9 +395,9 @@ impl UdpLink {
             let _ = socket.set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
             match socket.recv(&mut buf) {
                 Ok(n) if n > 0 => {
-                    if let Some(frame) = decode(buf[0], &buf[1..n]) {
+                    decode_into(buf[0], &buf[1..n], &self.inner.rx_pool, &mut |frame| {
                         self.inner.rx.push(frame, &self.inner.stats);
-                    }
+                    });
                     timeout = Duration::from_micros(100);
                 }
                 Ok(_) => return,
@@ -324,21 +425,76 @@ impl Link for UdpLink {
     }
 
     fn send(&self, frame: Frame) -> SendStatus {
-        match &self.inner.side {
-            LinkSide::Client { socket, .. } => send_frame(
-                frame,
-                self.inner.max_datagram,
-                &self.inner.stats,
-                &self.inner.fin_sent,
-                |d| socket.send(d),
-            ),
-            LinkSide::Server { server, peer_addr } => send_frame(
-                frame,
-                self.inner.max_datagram,
-                &self.inner.stats,
-                &self.inner.fin_sent,
-                |d| server.socket.send_to(d, peer_addr),
-            ),
+        let inner = &self.inner;
+        if inner.fin_sent.load(Ordering::Acquire) {
+            return SendStatus::Closed;
+        }
+        match frame {
+            Frame::Data(bytes) => {
+                inner.stats.sent.fetch_add(1, Ordering::Relaxed);
+                if bytes.len() > inner.max_datagram {
+                    // An oversized frame cannot ride one datagram: shed
+                    // it, like a router refusing a jumbo packet.
+                    inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    return SendStatus::Dropped;
+                }
+                let Some(policy) = inner.batch else {
+                    return inner.send_data_single(&bytes);
+                };
+                // Pack small frames: `[len][payload]` entries appended to
+                // the pending `TAG_BATCH` datagram, flushed when the next
+                // frame would overflow it, when it reaches `max_frames`,
+                // or when the linger flusher fires.
+                let entry_len = 4 + bytes.len();
+                let mut batch = inner.tx_batch.lock();
+                if batch.frames > 0 && batch.buf.len() + entry_len > inner.max_datagram + 1 {
+                    inner.flush_batch(&mut batch);
+                }
+                if 1 + entry_len > inner.max_datagram + 1 {
+                    // Too big to pack even alone (entry framing would
+                    // overflow the datagram): pending data already went
+                    // out above, so ordering holds — send it singly.
+                    drop(batch);
+                    return inner.send_data_single(&bytes);
+                }
+                if batch.frames == 0 {
+                    batch.buf.push(TAG_BATCH);
+                }
+                let len = u32::try_from(bytes.len()).expect("datagram-sized frame fits u32");
+                batch.buf.extend_from_slice(&len.to_le_bytes());
+                batch.buf.extend_from_slice(&bytes);
+                batch.frames += 1;
+                batch.payload_bytes += bytes.len() as u64;
+                if batch.frames >= policy.max_frames.max(1) as u64 {
+                    inner.flush_batch(&mut batch);
+                } else {
+                    drop(batch);
+                    self.ensure_flusher(policy.linger.unwrap_or(DEFAULT_UDP_LINGER));
+                }
+                SendStatus::Sent
+            }
+            Frame::Fin => {
+                // End of stream must not overtake its own data.
+                inner.flush_pending();
+                let _ = inner.raw_send(&[TAG_FIN]);
+                inner.stats.wire_writes.fetch_add(1, Ordering::Relaxed);
+                inner.fin_sent.store(true, Ordering::Release);
+                SendStatus::Sent
+            }
+            ctrl_frame => {
+                // Control-lane frames go out immediately, overtaking any
+                // pending packed data — out-of-band priority.
+                let Some((tag, payload)) = encode(&ctrl_frame) else {
+                    return SendStatus::Sent;
+                };
+                let mut dgram = Vec::with_capacity(payload.len() + 1);
+                dgram.push(tag);
+                dgram.extend_from_slice(&payload);
+                if inner.raw_send(&dgram).is_ok() {
+                    inner.stats.wire_writes.fetch_add(1, Ordering::Relaxed);
+                }
+                SendStatus::Sent
+            }
         }
     }
 
@@ -405,6 +561,10 @@ impl std::fmt::Debug for UdpLink {
 struct PeerEntry {
     rx: Arc<RxQueue>,
     stats: Arc<SharedStats>,
+    /// Per-peer receive pool: arriving payloads seal into recycled
+    /// buffers, so a fan-in of N peers costs N warm pools, not N × frames
+    /// allocations.
+    pool: BufferPool,
 }
 
 struct ServerShared {
@@ -433,14 +593,15 @@ fn reader_loop(server: &Weak<ServerShared>) {
                         slot.insert(PeerEntry {
                             rx: Arc::new(RxQueue::new()),
                             stats: Arc::new(SharedStats::default()),
+                            pool: BufferPool::new(),
                         });
                         srv.pending.lock().push_back(from);
                         srv.pending_cv.notify_all();
                     }
-                } else if let Some(frame) = decode(buf[0], &buf[1..n]) {
-                    if let Some(entry) = srv.peers.lock().get(&from) {
+                } else if let Some(entry) = srv.peers.lock().get(&from) {
+                    decode_into(buf[0], &buf[1..n], &entry.pool, &mut |frame| {
                         entry.rx.push(frame, &entry.stats);
-                    }
+                    });
                 }
             }
             _ => {}
@@ -454,6 +615,7 @@ fn reader_loop(server: &Weak<ServerShared>) {
 pub struct UdpAcceptor {
     server: Arc<ServerShared>,
     max_datagram: usize,
+    batch: Option<BatchPolicy>,
 }
 
 impl Drop for UdpAcceptor {
@@ -490,7 +652,11 @@ impl Acceptor for UdpAcceptor {
         let entry = {
             let peers = self.server.peers.lock();
             let entry = peers.get(&peer_addr).ok_or(TransportError::Closed)?;
-            (Arc::clone(&entry.rx), Arc::clone(&entry.stats))
+            (
+                Arc::clone(&entry.rx),
+                Arc::clone(&entry.stats),
+                entry.pool.clone(),
+            )
         };
         Ok(UdpLink {
             inner: Arc::new(UdpInner {
@@ -504,6 +670,10 @@ impl Acceptor for UdpAcceptor {
                 stats: entry.1,
                 fin_sent: AtomicBool::new(false),
                 rx_bound: AtomicBool::new(false),
+                rx_pool: entry.2,
+                batch: self.batch,
+                tx_batch: Mutex::new(TxBatch::new()),
+                flusher_started: AtomicBool::new(false),
             }),
         })
     }
@@ -526,15 +696,18 @@ impl std::fmt::Debug for UdpAcceptor {
 #[derive(Clone, Debug)]
 pub struct UdpTransport {
     max_datagram: usize,
+    batch: Option<BatchPolicy>,
 }
 
 impl UdpTransport {
     /// A transport with the default datagram payload limit
-    /// ([`DEFAULT_MAX_DATAGRAM`]).
+    /// ([`DEFAULT_MAX_DATAGRAM`]) and small-frame packing on (default
+    /// [`BatchPolicy`], ~1 ms linger).
     #[must_use]
     pub fn new() -> UdpTransport {
         UdpTransport {
             max_datagram: DEFAULT_MAX_DATAGRAM,
+            batch: Some(BatchPolicy::default()),
         }
     }
 
@@ -545,7 +718,26 @@ impl UdpTransport {
     pub fn with_max_datagram(max_datagram: usize) -> UdpTransport {
         UdpTransport {
             max_datagram: max_datagram.max(1),
+            ..UdpTransport::new()
         }
+    }
+
+    /// Overrides how small data frames pack into shared datagrams. A
+    /// `linger` of `None` falls back to the backend's ~1 ms default —
+    /// UDP has no writer queue to drain, so a partial packed datagram is
+    /// always closed by the linger flusher.
+    #[must_use]
+    pub fn with_batching(mut self, batch: BatchPolicy) -> UdpTransport {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Disables packing: every data frame rides its own datagram (the
+    /// pre-batching behaviour).
+    #[must_use]
+    pub fn without_batching(mut self) -> UdpTransport {
+        self.batch = None;
+        self
     }
 }
 
@@ -580,6 +772,7 @@ impl Transport for UdpTransport {
         Ok(UdpAcceptor {
             server,
             max_datagram: self.max_datagram,
+            batch: self.batch,
         })
     }
 
@@ -619,6 +812,10 @@ impl Transport for UdpTransport {
                 stats: Arc::new(SharedStats::default()),
                 fin_sent: AtomicBool::new(false),
                 rx_bound: AtomicBool::new(false),
+                rx_pool: BufferPool::new(),
+                batch: self.batch,
+                tx_batch: Mutex::new(TxBatch::new()),
+                flusher_started: AtomicBool::new(false),
             }),
         })
     }
@@ -670,6 +867,8 @@ mod tests {
         // Control frames are never shed, and still overtake the backlog.
         rx.push(Frame::Event(WireEvent::SetDropLevel(1)), &stats);
         assert_eq!(stats.dropped.load(Ordering::Relaxed), 10);
+        // Sheds are also split out as the memory-pressure signal.
+        assert_eq!(stats.rx_shed.load(Ordering::Relaxed), 10);
         assert!(matches!(
             rx.pop(&stats),
             Some(RecvOutcome::Frame(Frame::Event(_)))
@@ -680,6 +879,57 @@ mod tests {
         }
         assert_eq!(data, RX_QUEUE_FRAMES, "backlog capped at the queue bound");
         assert_eq!(stats.delivered.load(Ordering::Relaxed), data as u64);
+    }
+
+    #[test]
+    fn packed_datagrams_fan_out_in_order() {
+        // Decode side: a TAG_BATCH datagram yields every packed frame.
+        let pool = BufferPool::new();
+        let mut dgram = vec![TAG_BATCH];
+        for payload in [&b"aa"[..], &b"b"[..], &b""[..], &b"cccc"[..]] {
+            dgram.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            dgram.extend_from_slice(payload);
+        }
+        let mut got = Vec::new();
+        decode_into(dgram[0], &dgram[1..], &pool, &mut |f| got.push(f));
+        let payloads: Vec<Vec<u8>> = got
+            .iter()
+            .map(|f| match f {
+                Frame::Data(b) => b.as_slice().to_vec(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            payloads,
+            vec![b"aa".to_vec(), b"b".to_vec(), vec![], b"cccc".to_vec()]
+        );
+
+        // End to end: several small sends arrive as distinct frames, in
+        // order, with fewer datagrams than frames.
+        let transport = UdpTransport::new();
+        let acceptor = transport.listen("127.0.0.1:0").unwrap();
+        let client = transport.connect(&acceptor.local_addr()).unwrap();
+        let server = acceptor.accept().unwrap();
+        for i in 0..16u8 {
+            assert!(client
+                .send(Frame::Data(PayloadBytes::from(vec![i])))
+                .accepted());
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut seen = Vec::new();
+        while seen.len() < 16 {
+            match server.recv(Duration::from_millis(100)) {
+                RecvOutcome::Frame(Frame::Data(b)) => seen.push(b[0]),
+                RecvOutcome::TimedOut if Instant::now() < deadline => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, (0..16).collect::<Vec<u8>>());
+        assert!(
+            client.stats().wire_writes < 16,
+            "packing should cost fewer datagrams than frames: {:?}",
+            client.stats()
+        );
     }
 
     #[test]

@@ -73,9 +73,20 @@ impl de::Error for WireError {
 /// Any [`WireError`] reported during serialization (e.g. map lengths
 /// exceeding `u32`).
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
-    let mut out = WireSerializer { out: Vec::new() };
-    value.serialize(&mut out)?;
-    Ok(out.out)
+    let mut out = Vec::new();
+    serialize_into(&mut out, value)?;
+    Ok(out)
+}
+
+/// Serializes a value by appending its wire bytes to `out` — the
+/// allocation-free core of the codec: with enough spare capacity in
+/// `out`, serialization performs no heap allocation at all.
+///
+/// # Errors
+///
+/// Any [`WireError`] reported during serialization.
+pub fn serialize_into<T: Serialize>(out: &mut Vec<u8>, value: &T) -> Result<(), WireError> {
+    value.serialize(&mut WireSerializer { out })
 }
 
 /// Serializes a value into a single sealed [`PayloadBytes`] buffer —
@@ -87,6 +98,26 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
 /// Any [`WireError`] reported during serialization.
 pub fn to_payload<T: Serialize>(value: &T) -> Result<infopipes::PayloadBytes, WireError> {
     to_bytes(value).map(infopipes::PayloadBytes::from_vec)
+}
+
+/// Serializes a value into a buffer drawn from `pool` and seals it —
+/// the allocation-free variant of [`to_payload`]: in steady state
+/// (recycled buffer, sufficient retained capacity) the seal performs
+/// zero heap allocations. `size_hint` guides size-class selection;
+/// callers that marshal a stream of similar messages pass the previous
+/// message's size.
+///
+/// # Errors
+///
+/// Any [`WireError`] reported during serialization.
+pub fn to_payload_in<T: Serialize>(
+    pool: &infopipes::BufferPool,
+    size_hint: usize,
+    value: &T,
+) -> Result<infopipes::PayloadBytes, WireError> {
+    let mut buf = pool.acquire(size_hint);
+    serialize_into(buf.buf_mut(), value)?;
+    Ok(buf.seal())
 }
 
 /// Deserializes a value from wire bytes, requiring the input to be fully
@@ -110,11 +141,11 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
 // Serializer
 // ---------------------------------------------------------------------
 
-struct WireSerializer {
-    out: Vec<u8>,
+struct WireSerializer<'a> {
+    out: &'a mut Vec<u8>,
 }
 
-impl WireSerializer {
+impl WireSerializer<'_> {
     fn put_len(&mut self, len: usize) -> Result<(), WireError> {
         let len =
             u32::try_from(len).map_err(|_| WireError::Invalid("length exceeds u32".into()))?;
@@ -123,7 +154,7 @@ impl WireSerializer {
     }
 }
 
-impl ser::Serializer for &mut WireSerializer {
+impl ser::Serializer for &mut WireSerializer<'_> {
     type Ok = ();
     type Error = WireError;
     type SerializeSeq = Self;
@@ -301,7 +332,7 @@ impl ser::Serializer for &mut WireSerializer {
 
 macro_rules! forward_compound {
     ($trait:ident, $method:ident $(, $key:ident)?) => {
-        impl ser::$trait for &mut WireSerializer {
+        impl ser::$trait for &mut WireSerializer<'_> {
             type Ok = ();
             type Error = WireError;
 
@@ -327,7 +358,7 @@ forward_compound!(SerializeTuple, serialize_element);
 forward_compound!(SerializeTupleStruct, serialize_field);
 forward_compound!(SerializeTupleVariant, serialize_field);
 
-impl ser::SerializeMap for &mut WireSerializer {
+impl ser::SerializeMap for &mut WireSerializer<'_> {
     type Ok = ();
     type Error = WireError;
 
@@ -344,7 +375,7 @@ impl ser::SerializeMap for &mut WireSerializer {
     }
 }
 
-impl ser::SerializeStruct for &mut WireSerializer {
+impl ser::SerializeStruct for &mut WireSerializer<'_> {
     type Ok = ();
     type Error = WireError;
 
@@ -361,7 +392,7 @@ impl ser::SerializeStruct for &mut WireSerializer {
     }
 }
 
-impl ser::SerializeStructVariant for &mut WireSerializer {
+impl ser::SerializeStructVariant for &mut WireSerializer<'_> {
     type Ok = ();
     type Error = WireError;
 

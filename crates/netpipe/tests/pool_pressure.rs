@@ -1,0 +1,89 @@
+//! Memory pressure as a feedback signal: the transport layer's pool-miss
+//! rate and UDP receive-queue shed count become [`SensorReading`]s via
+//! [`GaugeSensor`], so the same `CongestionDropController` that reacts to
+//! send saturation can also react to buffers not coming home — without
+//! `netpipe` depending on `feedback` or vice versa.
+
+use feedback::{CongestionDropController, Controller, GaugeSensor};
+use infopipes::{BufferPool, ControlEvent};
+use netpipe::{
+    Acceptor, Frame, Link, PayloadBytes, Transport, UdpTransport, POOL_MISS_READING,
+    UDP_RX_SHED_READING,
+};
+use std::time::{Duration, Instant};
+
+/// A pool whose buffers never come home misses on every acquisition;
+/// the gauge turns that into a 0..1 reading the controller acts on.
+#[test]
+fn pool_miss_rate_drives_the_drop_level() {
+    let pool = BufferPool::with_classes(&[256], 1);
+    let probe = pool.clone();
+    let sensor = GaugeSensor::new(POOL_MISS_READING, move || probe.stats().miss_rate());
+    let mut controller = CongestionDropController::new(POOL_MISS_READING);
+
+    // Warm state: one buffer recycling in and out — after the cold-start
+    // miss, every acquisition hits and the rate decays below threshold.
+    for _ in 0..8 {
+        drop(pool.acquire(64).seal());
+    }
+    assert_eq!(controller.observe(&sensor.read()), None, "hits are calm");
+
+    // Consumers hold every payload: each acquisition misses, and the
+    // miss rate climbs past the controller's threshold.
+    let mut held = Vec::new();
+    for _ in 0..16 {
+        held.push(pool.acquire(64).seal());
+    }
+    let reading = sensor.read();
+    assert_eq!(reading.name, POOL_MISS_READING);
+    assert!(reading.value > 0.5, "sustained misses: {}", reading.value);
+    assert_eq!(
+        controller.observe(&reading),
+        Some(ControlEvent::SetDropLevel(1)),
+        "memory pressure must raise the drop level"
+    );
+    drop(held);
+}
+
+/// A stalled UDP receiver sheds arrivals into `rx_shed`; the gauge over
+/// the link's stats feeds the controller the same way.
+#[test]
+fn udp_rx_shed_drives_the_drop_level() {
+    let transport = UdpTransport::new();
+    let acceptor = transport.listen("127.0.0.1:0").unwrap();
+    let client = transport.connect(&acceptor.local_addr()).unwrap();
+    let server = acceptor.accept().unwrap();
+
+    // Nobody calls `server.recv`: the bounded receive queue fills and
+    // everything past the bound is shed (and counted).
+    for _ in 0..2048 {
+        assert!(client
+            .send(Frame::Data(PayloadBytes::from(vec![7u8; 8])))
+            .accepted());
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.stats().rx_shed == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.stats();
+    assert!(
+        stats.rx_shed > 0,
+        "overflow must register as sheds: {stats:?}"
+    );
+    assert!(
+        stats.dropped >= stats.rx_shed,
+        "sheds are a subset of drops: {stats:?}"
+    );
+
+    let sensor = GaugeSensor::new(UDP_RX_SHED_READING, move || server.stats().rx_shed as f64);
+    let mut controller = CongestionDropController::new(UDP_RX_SHED_READING);
+    assert_eq!(
+        controller.observe(&sensor.read()),
+        Some(ControlEvent::SetDropLevel(1)),
+        "receive-side sheds must raise the drop level"
+    );
+    // A reading under a different name is ignored — controllers match by
+    // reading name, so several gauges can share one event stream.
+    let unrelated = GaugeSensor::new(POOL_MISS_READING, || 1.0);
+    assert_eq!(controller.observe(&unrelated.read()), None);
+}

@@ -317,7 +317,69 @@ fn check_payload_immutability<T: Transport>(transport: &T, addr: &str) {
 }
 
 // ---------------------------------------------------------------------
-// Property 6 (inproc): the data path is zero-copy end to end
+// Property 6: pool recycling never mutates a still-live alias
+// ---------------------------------------------------------------------
+
+/// Payloads sealed from a [`BufferPool`](infopipes::BufferPool) and sent
+/// over the link must stay byte-stable through any later pool traffic: a
+/// buffer is recycled only when its *last* reference drops, so poison
+/// writes through fresh acquisitions can never land in a buffer an alias
+/// still observes. Once the aliases release, the buffers must actually
+/// return (recycling resumes with pool hits).
+fn check_pooled_recycling<T: Transport>(transport: &T, addr: &str) {
+    let pool = infopipes::BufferPool::new();
+    let (client, server) = connect_pair(transport, addr);
+
+    let mut aliases = Vec::new();
+    for i in 0..20u8 {
+        let mut buf = pool.acquire(64);
+        buf.buf_mut().extend_from_slice(&[i; 64]);
+        let sealed = buf.seal();
+        aliases.push(sealed.clone());
+        assert!(client.send(Frame::Data(sealed)).accepted());
+    }
+    assert_eq!(client.send(Frame::Fin), SendStatus::Sent);
+
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        match server.recv(Duration::from_millis(100)) {
+            RecvOutcome::Frame(_) => {}
+            RecvOutcome::Fin => break,
+            RecvOutcome::Closed => panic!("link closed before Fin"),
+            RecvOutcome::TimedOut => assert!(Instant::now() < deadline, "timed out"),
+        }
+    }
+
+    // Churn the pool: every acquisition scribbles. None of it may be
+    // observable through the aliases still held above.
+    for _ in 0..64 {
+        let mut buf = pool.acquire(64);
+        buf.buf_mut().extend_from_slice(&[0xEE; 64]);
+        drop(buf.seal());
+    }
+    for (i, alias) in aliases.iter().enumerate() {
+        assert_eq!(
+            alias.as_slice(),
+            &[i as u8; 64][..],
+            "recycling must never mutate a still-live alias"
+        );
+    }
+
+    // Released aliases return to the pool (the sender side may hold its
+    // last internal reference a beat longer; poll for the handback).
+    drop(aliases);
+    let deadline = Instant::now() + DEADLINE;
+    while pool.stats().outstanding > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(pool.stats().outstanding, 0, "all buffers must come home");
+    let hits_before = pool.stats().hits;
+    drop(pool.acquire(64));
+    assert!(pool.stats().hits > hits_before, "recycling must resume");
+}
+
+// ---------------------------------------------------------------------
+// Property 7 (inproc): the data path is zero-copy end to end
 // ---------------------------------------------------------------------
 
 /// Runs `src >> marshal >> NetSendEnd >> (inproc link) >> inbox >>
@@ -414,6 +476,7 @@ fn inproc_conforms() {
     check_event_priority(&InProcTransport::new(), "prio", 64, 50);
     check_clean_shutdown(&InProcTransport::new(), "fin", &kernel);
     check_payload_immutability(&InProcTransport::new(), "immut");
+    check_pooled_recycling(&InProcTransport::new(), "pool");
     check_inproc_zero_copy(&kernel);
     kernel.shutdown();
 }
@@ -464,6 +527,7 @@ fn sim_conforms() {
     );
     check_clean_shutdown(&fast(&kernel), "fin", &kernel);
     check_payload_immutability(&fast(&kernel), "immut");
+    check_pooled_recycling(&fast(&kernel), "pool");
     kernel.shutdown();
 }
 
@@ -492,6 +556,7 @@ fn tcp_conforms() {
     );
     check_clean_shutdown(&TcpTransport::new(), "127.0.0.1:0", &kernel);
     check_payload_immutability(&TcpTransport::new(), "127.0.0.1:0");
+    check_pooled_recycling(&TcpTransport::new(), "127.0.0.1:0");
     kernel.shutdown();
 }
 
@@ -516,5 +581,6 @@ fn udp_conforms() {
     check_event_priority(&UdpTransport::new(), "127.0.0.1:0", 1024, 50);
     check_clean_shutdown(&UdpTransport::new(), "127.0.0.1:0", &kernel);
     check_payload_immutability(&UdpTransport::new(), "127.0.0.1:0");
+    check_pooled_recycling(&UdpTransport::new(), "127.0.0.1:0");
     kernel.shutdown();
 }
