@@ -18,7 +18,7 @@
 //!   boxes per item, so this is *not* zero; published to keep the claim
 //!   honest about where the remaining allocations live.
 //! * **tcp_batched / tcp_unbatched** — 256-byte frames over loopback TCP
-//!   with the default [`BatchPolicy`] versus `unbatched()`. Batching must
+//!   with the default [`BatchPolicy`](netpipe::BatchPolicy) versus `unbatched()`. Batching must
 //!   deliver >= 1.5x frames/sec (exit 1 otherwise); syscalls/frame shows
 //!   why (one `writev` carries up to 64 frames).
 //! * **udp_packed** — small frames packed into shared datagrams; the

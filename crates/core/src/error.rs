@@ -15,7 +15,7 @@ pub enum PipeError {
     PortInUse {
         /// The node whose port is already taken.
         node: NodeId,
-        /// A description of the port ("in", "out", "out[2]" ...).
+        /// A description of the port ("in", "out", "out\[2\]" ...).
         port: String,
     },
     /// A section (a region between buffers) has no pump or active endpoint

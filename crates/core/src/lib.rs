@@ -77,7 +77,7 @@ pub use error::PipeError;
 pub use events::ControlEvent;
 pub use graph::{InboxSender, Node, NodeId, Pipeline};
 pub use item::{Item, Meta};
-pub use payload::PayloadBytes;
+pub use payload::{payload_copy_count, PayloadBytes};
 pub use plan::{Exec, Mode, PlanReport, SectionReport, StagePlacement};
 pub use pool::{BufferPool, PoolBuffer, PoolStats};
 pub use pump::{ClockedPump, CycleOutcome, FreePump, Pump, Schedule};

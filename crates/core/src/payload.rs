@@ -36,7 +36,26 @@ use crate::pool::PooledMem;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide tally of payload deep copies: every
+/// [`PayloadBytes::copy_from_slice`] (copy-construction) and
+/// [`PayloadBytes::to_vec`] (copy-out) bumps it. Sealing a `Vec`
+/// ([`PayloadBytes::from_vec`]) moves the bytes and is *not* counted —
+/// it is the one sanctioned sealing step of invariant 1.
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// The number of payload deep copies the process has performed so far.
+///
+/// Fan-out proofs read this around a broadcast: teeing one sealed buffer
+/// to N sessions must leave the count unchanged, because every
+/// per-session frame is a refcounted view of the same allocation. (The
+/// capacity bench `fanout_report` gates on exactly that delta.)
+#[must_use]
+pub fn payload_copy_count() -> u64 {
+    DEEP_COPIES.load(Ordering::Relaxed)
+}
 
 /// The shared allocation behind a [`PayloadBytes`] view: either a plain
 /// heap sealing or a recycled buffer from a
@@ -62,7 +81,7 @@ impl Backing {
 /// allocation (`Arc<[u8]>`, or a pooled buffer sealed through
 /// [`BufferPool`](crate::BufferPool)), with zero-copy slicing.
 ///
-/// See the [module docs](self) for the zero-copy invariants. The empty
+/// See the module docs for the zero-copy invariants. The empty
 /// buffer is special-cased to a shared static allocation, so
 /// `PayloadBytes::default()` never allocates.
 #[derive(Clone)]
@@ -97,9 +116,11 @@ impl PayloadBytes {
         }
     }
 
-    /// Copies a slice into a fresh shared buffer.
+    /// Copies a slice into a fresh shared buffer (counted in
+    /// [`payload_copy_count`]).
     #[must_use]
     pub fn copy_from_slice(s: &[u8]) -> PayloadBytes {
+        DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
         PayloadBytes {
             buf: Backing::Shared(Arc::from(s)),
             off: 0,
@@ -223,11 +244,12 @@ impl PayloadBytes {
         }
     }
 
-    /// Detaches the viewed bytes into an owned `Vec` (a copy; use only
-    /// when leaving the zero-copy path, e.g. to stop a small slice from
-    /// pinning a large parent buffer).
+    /// Detaches the viewed bytes into an owned `Vec` (a copy, counted in
+    /// [`payload_copy_count`]; use only when leaving the zero-copy path,
+    /// e.g. to stop a small slice from pinning a large parent buffer).
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
+        DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
         self.as_slice().to_vec()
     }
 }

@@ -120,7 +120,7 @@ impl PoolStats {
 }
 
 /// A pool of recycled byte buffers that seal into [`PayloadBytes`]. See
-/// the [module docs](self) for the recycle-on-last-drop contract.
+/// the module docs for the recycle-on-last-drop contract.
 ///
 /// Cheap to clone (a shared handle); every clone draws from and recycles
 /// into the same freelists.

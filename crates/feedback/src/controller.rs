@@ -22,7 +22,7 @@ where
 
 /// The drop-level policy of Fig. 1: watches the consumer-side delivery
 /// rate and raises or lowers the producer-side
-/// [`PriorityDropFilter`](media::PriorityDropFilter)'s level with
+/// `media::PriorityDropFilter`'s level with
 /// hysteresis, so dropping happens *before* the congested network, under
 /// application control.
 pub struct DropLevelController {
@@ -196,7 +196,7 @@ impl Controller for CongestionDropController {
 }
 
 /// A proportional rate controller: nudges a pump's rate to hold a buffer
-/// at a target fill level (the real-rate allocator of ref [27], reduced
+/// at a target fill level (the real-rate allocator of ref \[27\], reduced
 /// to its proportional term).
 pub struct ProportionalRateController {
     reading_name: String,

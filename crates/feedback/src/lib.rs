@@ -1,4 +1,4 @@
-//! Feedback toolkit for adaptation control (§2.1, ref [7] of the paper).
+//! Feedback toolkit for adaptation control (§2.1, ref \[7\] of the paper).
 //!
 //! Pipelines adapt by closing loops between **sensors** (components that
 //! measure the flow), **controllers** (policies that map measurements to
@@ -13,6 +13,7 @@ mod controller;
 mod drift;
 mod loopctl;
 mod sensor;
+mod session;
 
 pub use controller::{
     CongestionDropController, Controller, DropLevelController, ProportionalRateController,
@@ -20,3 +21,4 @@ pub use controller::{
 pub use drift::DriftEstimator;
 pub use loopctl::{FeedbackLoop, LoopStats};
 pub use sensor::{FillLevelSensor, GaugeSensor, RateSensor, SensorReading};
+pub use session::SessionControllerBank;

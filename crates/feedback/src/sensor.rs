@@ -118,7 +118,7 @@ impl Function for RateSensor {
 }
 
 /// Samples a buffer's fill fraction on demand — the fill-level feedback
-/// of ref [27] ("adjust CPU allocations among pipeline stages according
+/// of ref \[27\] ("adjust CPU allocations among pipeline stages according
 /// to feedback from buffer fill levels").
 pub struct FillLevelSensor {
     name: String,

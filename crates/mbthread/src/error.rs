@@ -4,7 +4,7 @@ use crate::record::ThreadId;
 use std::error::Error;
 use std::fmt;
 
-/// Errors returned by blocking kernel operations ([`Ctx::receive`]
+/// Errors returned by blocking kernel operations ([`Ctx::receive`](crate::Ctx::receive)
 /// (crate::Ctx::receive), sleeps, synchronous sends).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KernelError {

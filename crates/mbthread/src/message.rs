@@ -121,7 +121,7 @@ pub struct Envelope {
 
 impl Envelope {
     /// The sending thread, if the message came from inside the kernel.
-    /// `None` for messages injected from an [`ExternalPort`]
+    /// `None` for messages injected from an [`ExternalPort`](crate::ExternalPort)
     /// (crate::ExternalPort) or by a timer.
     #[must_use]
     pub fn from(&self) -> Option<ThreadId> {

@@ -25,7 +25,7 @@ impl FrameType {
         matches!(self, FrameType::I | FrameType::P)
     }
 
-    /// The drop level at which a [`PriorityDropFilter`]
+    /// The drop level at which a [`PriorityDropFilter`](crate::PriorityDropFilter)
     /// (crate::PriorityDropFilter) starts discarding this type:
     /// level ≥ 1 drops B, ≥ 2 drops P, ≥ 3 drops I.
     #[must_use]

@@ -47,6 +47,7 @@ pub mod framing;
 mod marshal;
 mod proto;
 pub mod remote;
+pub mod serve;
 pub mod transport;
 pub mod wire;
 
@@ -55,6 +56,10 @@ pub use infopipes::{BufferPool, PayloadBytes, PoolStats};
 pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
+pub use serve::{
+    AcceptLoop, BroadcastSendEnd, Housekeeper, RegistryStats, ServeConfig, SessionId,
+    SessionRegistry, SessionSnapshot, SessionState,
+};
 pub use transport::{
     Acceptor, BatchPolicy, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats,
     NetSendEnd, PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor,

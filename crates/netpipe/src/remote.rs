@@ -8,7 +8,7 @@
 //!
 //! A [`RemoteHost`] owns a [`ComponentRegistry`] of named component
 //! factories. A [`RemoteClient`] connects over **any**
-//! [`Transport`](crate::Transport) — TCP, the network simulator, or an
+//! [`Transport`] — TCP, the network simulator, or an
 //! in-process link — names the chain of components it wants instantiated
 //! behind the netpipe (`CreatePipeline`), may query the resulting flow's
 //! Typespec (`QuerySpec`), and then streams data frames; control events
@@ -271,6 +271,18 @@ impl RemoteHost {
             Ok(r) => r,
             Err(e) => return refuse(link, &e.to_string()),
         };
+        // The pipeline carries this peer's identity (the typespec
+        // location rewrite in its Unmarshal stages); it must not outlive
+        // the link. `RunningPipeline` keeps running when dropped, so stop
+        // it on every exit path — early protocol errors and abrupt link
+        // closures included.
+        struct StopOnExit<'a>(&'a RunningPipeline);
+        impl Drop for StopOnExit<'_> {
+            fn drop(&mut self) {
+                let _ = self.0.stop();
+            }
+        }
+        let _stop_guard = StopOnExit(&running);
         running
             .start_flow()
             .map_err(|e| RemoteError::Protocol(e.to_string()))?;

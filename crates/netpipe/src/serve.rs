@@ -1,0 +1,876 @@
+//! The serving tier: many clients per producer (§2.4 scaled out).
+//!
+//! The paper's remote pipelines are point-to-point: one producer, one
+//! link, one consumer. A streaming service is one producer and *many*
+//! consumers, arriving and leaving while the flow runs. This module adds
+//! that tier on top of the [`Transport`](crate::Transport) family without
+//! touching how a pipeline is composed:
+//!
+//! * an [`AcceptLoop`] per transport turns incoming links into
+//!   registered **sessions** — it polls
+//!   [`Acceptor::accept_timeout`] so shutdown never needs a poison
+//!   connection,
+//! * a [`SessionRegistry`] owns the roster: each session walks the
+//!   lifecycle [`Connecting` → `Active` → `Draining` →
+//!   `Evicted`](SessionState), observable through
+//!   [`SessionSnapshot`]s and aggregate [`RegistryStats`],
+//! * [`SessionRegistry::broadcast`] tees one sealed
+//!   [`PayloadBytes`] frame into every active session's bounded send
+//!   queue **by refcount** — N sessions cost N queue slots, zero payload
+//!   copies (the capacity bench gates on
+//!   [`infopipes::payload_copy_count`] staying flat), and
+//! * each session keeps its own saturation window, surfacing per-session
+//!   `net-send-saturation` readings ([`SessionRegistry::take_readings`])
+//!   that a per-session controller bank (e.g.
+//!   `feedback::SessionControllerBank`) maps to per-session drop levels
+//!   ([`SessionRegistry::set_drop_level`]) — one slow client is thinned
+//!   or evicted while the rest stream on.
+//!
+//! # Isolation of slow clients
+//!
+//! The broadcast sweep never blocks on a session: a link whose send
+//! path would wait is skipped outright ([`Link::send_ready`]), flushing
+//! stops at the first [`SendStatus::Saturated`], the bounded per-session
+//! queue sheds its oldest frame on overflow, and a session whose link
+//! reports [`SendStatus::Closed`] is evicted on the spot. The worst a
+//! dead-slow client can do is lose its own frames.
+//!
+//! # Typical assembly
+//!
+//! ```no_run
+//! use netpipe::serve::{AcceptLoop, ServeConfig, SessionRegistry};
+//! use netpipe::{InProcTransport, Transport};
+//!
+//! let transport = InProcTransport::new();
+//! let acceptor = transport.listen("studio").unwrap();
+//! let registry = SessionRegistry::new(ServeConfig::default());
+//! let accept = AcceptLoop::spawn(acceptor, registry.clone());
+//! // ... producer pipeline ends in a BroadcastSendEnd over `registry` ...
+//! accept.shutdown();
+//! ```
+
+use crate::marshal::WireBytes;
+use crate::proto::WireEvent;
+use crate::transport::{
+    Acceptor, Frame, Link, PeerIdentity, SendStatus, TransportError, SEND_SATURATION_READING,
+};
+use infopipes::{Consumer, ControlEvent, EventCtx, Item, ItemType, PayloadBytes, Stage, StageCtx};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use typespec::Typespec;
+
+/// Identifies one session within a [`SessionRegistry`] (unique for the
+/// registry's lifetime; never reused).
+pub type SessionId = u64;
+
+/// Where a session is in its lifecycle.
+///
+/// ```text
+/// Connecting ──activate──▶ Active ──drain──▶ Draining ──flushed/deadline──▶ Evicted
+///      │                     │                                                 ▲
+///      └──── link closed ────┴────────────────── evict ───────────────────────┘
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Registered but not yet receiving broadcasts (handshake pending).
+    Connecting,
+    /// Receiving broadcast frames.
+    Active,
+    /// No new frames; queued frames are flushed until empty or the drain
+    /// deadline passes, then the session is evicted with a `Fin`.
+    Draining,
+    /// Done: queue released, `Fin` sent (best effort), awaiting
+    /// [`SessionRegistry::reap`].
+    Evicted,
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SessionState::Connecting => "connecting",
+            SessionState::Active => "active",
+            SessionState::Draining => "draining",
+            SessionState::Evicted => "evicted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning knobs for a [`SessionRegistry`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServeConfig {
+    /// Bounded frames per session queue; on overflow the *oldest* queued
+    /// frame is shed (streaming favours fresh data) and the window is
+    /// marked pressured.
+    pub queue_capacity: usize,
+    /// Send attempts per session between saturation readings (mirrors
+    /// [`NetSendEnd`](crate::NetSendEnd)'s window).
+    pub saturation_window: u64,
+    /// How long a [`Draining`](SessionState::Draining) session may keep
+    /// flushing before it is force-evicted with its queue unsent.
+    pub drain_deadline: Duration,
+    /// Bounded backlog of per-session readings awaiting
+    /// [`SessionRegistry::take_readings`]; on overflow the oldest reading
+    /// is discarded (a stale congestion sample is worthless anyway).
+    pub max_pending_readings: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 256,
+            saturation_window: 32,
+            drain_deadline: Duration::from_secs(2),
+            max_pending_readings: 4096,
+        }
+    }
+}
+
+/// Per-level keep-every strides, matching the drop-level fractions
+/// `[1.0, 0.34, 0.12]` used by the media filters: level 1 keeps every
+/// 3rd broadcast frame for that session, level 2 every 8th.
+const KEEP_EVERY: [u64; 3] = [1, 3, 8];
+
+/// One session's bounded outbound queue plus its saturation window.
+struct SendQueue {
+    frames: VecDeque<PayloadBytes>,
+    window_attempts: u64,
+    window_pressured: u64,
+    /// Broadcast tick for drop-level thinning (counts offered frames).
+    tick: u64,
+}
+
+/// Lifecycle cell, guarded separately from the queue so state checks
+/// never contend with a flush in progress.
+struct StateCell {
+    state: SessionState,
+    drain_deadline: Option<Instant>,
+}
+
+struct SessionShared<L> {
+    id: SessionId,
+    peer: PeerIdentity,
+    link: L,
+    state: Mutex<StateCell>,
+    q: Mutex<SendQueue>,
+    drop_level: AtomicU8,
+    enqueued: AtomicU64,
+    sent: AtomicU64,
+    shed: AtomicU64,
+    thinned: AtomicU64,
+    fin_sent: AtomicBool,
+}
+
+impl<L: Link> SessionShared<L> {
+    fn state(&self) -> SessionState {
+        self.state.lock().state
+    }
+
+    fn send_fin_once(&self) {
+        if !self.fin_sent.swap(true, Ordering::AcqRel) {
+            let _ = self.link.send(Frame::Fin);
+        }
+    }
+}
+
+/// A point-in-time view of one session (see
+/// [`SessionRegistry::sessions`]).
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    /// The session's registry-unique id.
+    pub id: SessionId,
+    /// The remote end, e.g. `tcp://127.0.0.1:41234`.
+    pub peer: String,
+    /// Lifecycle state at snapshot time.
+    pub state: SessionState,
+    /// Frames waiting in the session's send queue.
+    pub queued: usize,
+    /// Current drop level (0 = no thinning).
+    pub drop_level: u8,
+    /// Frames accepted into the queue since registration.
+    pub enqueued: u64,
+    /// Frames handed to the link.
+    pub sent: u64,
+    /// Frames lost to this session: queue overflow, link drops, and
+    /// frames discarded at eviction.
+    pub shed: u64,
+    /// Frames withheld by drop-level thinning (not counted as loss —
+    /// thinning is the feedback loop working as designed).
+    pub thinned: u64,
+}
+
+/// Aggregate registry counters (see [`SessionRegistry::stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions ever registered.
+    pub accepted_total: u64,
+    /// Sessions that reached [`SessionState::Evicted`].
+    pub evicted_total: u64,
+    /// Resident sessions currently [`SessionState::Connecting`].
+    pub connecting: usize,
+    /// Resident sessions currently [`SessionState::Active`].
+    pub active: usize,
+    /// Resident sessions currently [`SessionState::Draining`].
+    pub draining: usize,
+    /// Evicted sessions not yet reaped.
+    pub evicted_resident: usize,
+    /// Frames queued across all resident sessions right now.
+    pub queued_frames: usize,
+    /// Total frames accepted into session queues.
+    pub enqueued_total: u64,
+    /// Total frames handed to links.
+    pub sent_total: u64,
+    /// Total frames lost (overflow + link drops + eviction discards).
+    pub shed_total: u64,
+    /// Total frames withheld by drop-level thinning.
+    pub thinned_total: u64,
+}
+
+struct RegistryInner<L> {
+    cfg: ServeConfig,
+    next_id: AtomicU64,
+    roster: Mutex<Vec<Arc<SessionShared<L>>>>,
+    /// Per-session saturation readings awaiting collection, oldest first.
+    readings: Mutex<VecDeque<(SessionId, f64)>>,
+    accepted_total: AtomicU64,
+    evicted_total: AtomicU64,
+}
+
+/// The session roster of a serving tier: registration, lifecycle,
+/// refcounted broadcast fan-out, per-session congestion readings.
+///
+/// Cheaply cloneable; clones share the roster (the [`AcceptLoop`] holds
+/// one clone, the producer-side [`BroadcastSendEnd`] another, the
+/// feedback loop a third).
+pub struct SessionRegistry<L: Link> {
+    inner: Arc<RegistryInner<L>>,
+}
+
+impl<L: Link> Clone for SessionRegistry<L> {
+    fn clone(&self) -> Self {
+        SessionRegistry {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<L: Link> SessionRegistry<L> {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new(cfg: ServeConfig) -> SessionRegistry<L> {
+        SessionRegistry {
+            inner: Arc::new(RegistryInner {
+                cfg,
+                next_id: AtomicU64::new(1),
+                roster: Mutex::new(Vec::new()),
+                readings: Mutex::new(VecDeque::new()),
+                accepted_total: AtomicU64::new(0),
+                evicted_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The registry's configuration.
+    #[must_use]
+    pub fn config(&self) -> ServeConfig {
+        self.inner.cfg
+    }
+
+    /// Registers a link as a [`Connecting`](SessionState::Connecting)
+    /// session; it receives no broadcasts until
+    /// [`activate`](SessionRegistry::activate)d.
+    pub fn register(&self, link: L) -> SessionId {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(SessionShared {
+            id,
+            peer: link.peer(),
+            link,
+            state: Mutex::new(StateCell {
+                state: SessionState::Connecting,
+                drain_deadline: None,
+            }),
+            q: Mutex::new(SendQueue {
+                // Preallocated once: steady-state broadcasts push into
+                // existing capacity, keeping the fan-out allocation-free.
+                frames: VecDeque::with_capacity(self.inner.cfg.queue_capacity),
+                window_attempts: 0,
+                window_pressured: 0,
+                tick: 0,
+            }),
+            drop_level: AtomicU8::new(0),
+            enqueued: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            thinned: AtomicU64::new(0),
+            fin_sent: AtomicBool::new(false),
+        });
+        self.inner.roster.lock().push(session);
+        self.inner.accepted_total.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Moves a [`Connecting`](SessionState::Connecting) session into
+    /// [`Active`](SessionState::Active); no-op in any other state.
+    pub fn activate(&self, id: SessionId) {
+        if let Some(s) = self.find(id) {
+            let mut cell = s.state.lock();
+            if cell.state == SessionState::Connecting {
+                cell.state = SessionState::Active;
+            }
+        }
+    }
+
+    /// Registers and immediately activates (the accept loop's path).
+    pub fn admit(&self, link: L) -> SessionId {
+        let id = self.register(link);
+        self.activate(id);
+        id
+    }
+
+    fn find(&self, id: SessionId) -> Option<Arc<SessionShared<L>>> {
+        self.inner
+            .roster
+            .lock()
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+
+    /// Tees one sealed payload into every active session's queue by
+    /// refcount — no copy, N sessions share one allocation — then flushes
+    /// each queue without ever blocking on a slow client. Returns the
+    /// number of sessions the frame was enqueued to.
+    pub fn broadcast(&self, payload: &PayloadBytes) -> usize {
+        let roster = self.snapshot_roster();
+        let mut reached = 0;
+        for s in &roster {
+            if s.state() != SessionState::Active {
+                continue;
+            }
+            if self.enqueue(s, payload) {
+                reached += 1;
+            }
+            self.flush_session(s);
+        }
+        reached
+    }
+
+    /// Queues `payload` on one session, applying drop-level thinning and
+    /// drop-oldest overflow. Returns whether the frame was accepted.
+    fn enqueue(&self, s: &Arc<SessionShared<L>>, payload: &PayloadBytes) -> bool {
+        let level = usize::from(s.drop_level.load(Ordering::Relaxed)).min(KEEP_EVERY.len() - 1);
+        let mut overflowed = false;
+        let reading = {
+            let mut q = s.q.lock();
+            let tick = q.tick;
+            q.tick += 1;
+            if !tick.is_multiple_of(KEEP_EVERY[level]) {
+                drop(q);
+                s.thinned.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            let mut reading = None;
+            if q.frames.len() >= self.inner.cfg.queue_capacity {
+                // Shed the *oldest* frame: a streaming client wants fresh
+                // data, and an overflowing queue is a pressured link.
+                q.frames.pop_front();
+                overflowed = true;
+                q.window_attempts += 1;
+                q.window_pressured += 1;
+                reading = self.complete_window(&mut q);
+            }
+            q.frames.push_back(payload.clone());
+            reading
+        };
+        if overflowed {
+            s.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(fraction) = reading {
+            self.push_reading(s.id, fraction);
+        }
+        s.enqueued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Completes the saturation window if due; returns the fraction to
+    /// report. Caller must hold the queue lock.
+    fn complete_window(&self, q: &mut SendQueue) -> Option<f64> {
+        if q.window_attempts < self.inner.cfg.saturation_window {
+            return None;
+        }
+        let fraction = q.window_pressured as f64 / q.window_attempts as f64;
+        q.window_attempts = 0;
+        q.window_pressured = 0;
+        Some(fraction)
+    }
+
+    fn push_reading(&self, id: SessionId, fraction: f64) {
+        let mut readings = self.inner.readings.lock();
+        if readings.len() >= self.inner.cfg.max_pending_readings {
+            readings.pop_front();
+        }
+        readings.push_back((id, fraction));
+    }
+
+    /// Flushes one session's queue: sends until the queue is empty or the
+    /// link pushes back. Never blocks on a slow client — a link whose
+    /// send path would wait ([`Link::send_ready`] false) keeps its frames
+    /// queued and is merely marked pressured.
+    fn flush_session(&self, s: &Arc<SessionShared<L>>) {
+        loop {
+            if s.q.lock().frames.is_empty() {
+                return;
+            }
+            if !s.link.send_ready() {
+                let mut q = s.q.lock();
+                q.window_attempts += 1;
+                q.window_pressured += 1;
+                let reading = self.complete_window(&mut q);
+                drop(q);
+                if let Some(fraction) = reading {
+                    self.push_reading(s.id, fraction);
+                }
+                return;
+            }
+            let Some(frame) = s.q.lock().frames.pop_front() else {
+                return;
+            };
+            let status = s.link.send(Frame::Data(frame));
+            let mut q = s.q.lock();
+            q.window_attempts += 1;
+            match status {
+                SendStatus::Sent => {
+                    s.sent.fetch_add(1, Ordering::Relaxed);
+                }
+                SendStatus::Saturated => {
+                    // Accepted, but stop here: one more send could block
+                    // behind this client's congestion.
+                    q.window_pressured += 1;
+                    s.sent.fetch_add(1, Ordering::Relaxed);
+                    let reading = self.complete_window(&mut q);
+                    drop(q);
+                    if let Some(fraction) = reading {
+                        self.push_reading(s.id, fraction);
+                    }
+                    return;
+                }
+                SendStatus::Dropped => {
+                    q.window_pressured += 1;
+                    s.shed.fetch_add(1, Ordering::Relaxed);
+                    let reading = self.complete_window(&mut q);
+                    drop(q);
+                    if let Some(fraction) = reading {
+                        self.push_reading(s.id, fraction);
+                    }
+                    return;
+                }
+                SendStatus::Closed => {
+                    drop(q);
+                    s.shed.fetch_add(1, Ordering::Relaxed);
+                    self.evict(s.id);
+                    return;
+                }
+            }
+            let reading = self.complete_window(&mut q);
+            drop(q);
+            if let Some(fraction) = reading {
+                self.push_reading(s.id, fraction);
+            }
+        }
+    }
+
+    /// Sends a control event to every connecting, active, or draining
+    /// session (control lane — overtakes queued data on every backend).
+    pub fn broadcast_event(&self, event: &ControlEvent) {
+        for s in &self.snapshot_roster() {
+            if s.state() == SessionState::Evicted {
+                continue;
+            }
+            let _ = s.link.send(Frame::Event(WireEvent::from(event)));
+        }
+    }
+
+    /// Starts draining one session: no new broadcast frames; queued
+    /// frames keep flushing (via [`sweep`](SessionRegistry::sweep)) until
+    /// empty or the drain deadline, then the session is evicted.
+    pub fn drain(&self, id: SessionId) {
+        if let Some(s) = self.find(id) {
+            let mut cell = s.state.lock();
+            if matches!(cell.state, SessionState::Connecting | SessionState::Active) {
+                cell.state = SessionState::Draining;
+                cell.drain_deadline = Some(Instant::now() + self.inner.cfg.drain_deadline);
+            }
+        }
+    }
+
+    /// Starts draining every connecting or active session (the serving
+    /// tier's response to end of stream).
+    pub fn drain_all(&self) {
+        for s in self.snapshot_roster() {
+            self.drain(s.id);
+        }
+    }
+
+    /// One housekeeping pass: flushes active and draining queues,
+    /// completes drains (empty queue → `Fin` → evicted), and force-evicts
+    /// draining sessions past their deadline. Call this from a
+    /// housekeeper thread ([`SessionRegistry::spawn_housekeeper`]) or
+    /// between broadcasts.
+    pub fn sweep(&self) {
+        for s in &self.snapshot_roster() {
+            match s.state() {
+                SessionState::Active => self.flush_session(s),
+                SessionState::Draining => {
+                    self.flush_session(s);
+                    // flush_session may have evicted a closed link.
+                    let (state, deadline) = {
+                        let cell = s.state.lock();
+                        (cell.state, cell.drain_deadline)
+                    };
+                    if state != SessionState::Draining {
+                        continue;
+                    }
+                    let empty = s.q.lock().frames.is_empty();
+                    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                    if empty || expired {
+                        self.evict(s.id);
+                    }
+                }
+                SessionState::Connecting | SessionState::Evicted => {}
+            }
+        }
+    }
+
+    /// Evicts a session immediately: its queue is released (every queued
+    /// frame's refcount drops), a `Fin` is sent best-effort, and the
+    /// session becomes [`Evicted`](SessionState::Evicted) (resident until
+    /// [`reap`](SessionRegistry::reap)).
+    pub fn evict(&self, id: SessionId) {
+        let Some(s) = self.find(id) else { return };
+        {
+            let mut cell = s.state.lock();
+            if cell.state == SessionState::Evicted {
+                return;
+            }
+            cell.state = SessionState::Evicted;
+            cell.drain_deadline = None;
+        }
+        let discarded = {
+            let mut q = s.q.lock();
+            let n = q.frames.len();
+            q.frames.clear();
+            n
+        };
+        s.shed.fetch_add(discarded as u64, Ordering::Relaxed);
+        s.send_fin_once();
+        self.inner.evicted_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes evicted sessions from the roster, returning how many were
+    /// released (their links drop here).
+    pub fn reap(&self) -> usize {
+        let mut roster = self.inner.roster.lock();
+        let before = roster.len();
+        roster.retain(|s| s.state() != SessionState::Evicted);
+        before - roster.len()
+    }
+
+    /// Sets one session's drop level (0–2): the thinning stride the
+    /// broadcast applies to that session only. This is the actuator a
+    /// per-session congestion controller drives.
+    pub fn set_drop_level(&self, id: SessionId, level: u8) {
+        if let Some(s) = self.find(id) {
+            s.drop_level.store(level, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains the pending per-session saturation readings (the same
+    /// 0..=1 pressured-fraction a [`NetSendEnd`](crate::NetSendEnd)
+    /// broadcasts under [`SEND_SATURATION_READING`], but one stream per
+    /// session). Feed these to a per-session controller bank.
+    pub fn take_readings(&self) -> Vec<(SessionId, f64)> {
+        self.inner.readings.lock().drain(..).collect()
+    }
+
+    /// The reading name under which per-session saturation fractions are
+    /// reported (shared with the point-to-point send end).
+    #[must_use]
+    pub fn reading_name(&self) -> &'static str {
+        SEND_SATURATION_READING
+    }
+
+    /// Point-in-time snapshots of every resident session.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionSnapshot> {
+        self.snapshot_roster()
+            .iter()
+            .map(|s| SessionSnapshot {
+                id: s.id,
+                peer: s.peer.to_string(),
+                state: s.state(),
+                queued: s.q.lock().frames.len(),
+                drop_level: s.drop_level.load(Ordering::Relaxed),
+                enqueued: s.enqueued.load(Ordering::Relaxed),
+                sent: s.sent.load(Ordering::Relaxed),
+                shed: s.shed.load(Ordering::Relaxed),
+                thinned: s.thinned.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Aggregate counters across the registry's lifetime and the current
+    /// roster.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let mut stats = RegistryStats {
+            accepted_total: self.inner.accepted_total.load(Ordering::Relaxed),
+            evicted_total: self.inner.evicted_total.load(Ordering::Relaxed),
+            ..RegistryStats::default()
+        };
+        for s in &self.snapshot_roster() {
+            match s.state() {
+                SessionState::Connecting => stats.connecting += 1,
+                SessionState::Active => stats.active += 1,
+                SessionState::Draining => stats.draining += 1,
+                SessionState::Evicted => stats.evicted_resident += 1,
+            }
+            stats.queued_frames += s.q.lock().frames.len();
+            stats.enqueued_total += s.enqueued.load(Ordering::Relaxed);
+            stats.sent_total += s.sent.load(Ordering::Relaxed);
+            stats.shed_total += s.shed.load(Ordering::Relaxed);
+            stats.thinned_total += s.thinned.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Resident session count (all states).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.roster.lock().len()
+    }
+
+    /// Whether no sessions are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.roster.lock().is_empty()
+    }
+
+    fn snapshot_roster(&self) -> Vec<Arc<SessionShared<L>>> {
+        self.inner.roster.lock().clone()
+    }
+
+    /// Spawns a thread that calls [`sweep`](SessionRegistry::sweep) and
+    /// [`reap`](SessionRegistry::reap) every `period` until the returned
+    /// handle is shut down or dropped.
+    #[must_use]
+    pub fn spawn_housekeeper(&self, period: Duration) -> Housekeeper {
+        let registry = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-housekeeper".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    registry.sweep();
+                    registry.reap();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn housekeeper");
+        Housekeeper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl<L: Link> fmt::Debug for SessionRegistry<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SessionRegistry")
+            .field("active", &stats.active)
+            .field("draining", &stats.draining)
+            .field("evicted_total", &stats.evicted_total)
+            .finish()
+    }
+}
+
+/// Handle to a registry housekeeper thread
+/// ([`SessionRegistry::spawn_housekeeper`]); stops and joins it on
+/// [`shutdown`](Housekeeper::shutdown) or drop.
+pub struct Housekeeper {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Housekeeper {
+    /// Stops the housekeeper and waits for its thread to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Housekeeper {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// How often the accept loop checks its shutdown flag between bounded
+/// [`Acceptor::accept_timeout`] waits.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// A serving thread turning incoming links into registered sessions:
+/// polls [`Acceptor::accept_timeout`] so [`shutdown`](AcceptLoop::shutdown)
+/// completes promptly without a poison connection, and
+/// [`admit`](SessionRegistry::admit)s each accepted link.
+pub struct AcceptLoop {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl AcceptLoop {
+    /// Spawns the loop for one bound acceptor, admitting every connection
+    /// into `registry`.
+    #[must_use]
+    pub fn spawn<A>(acceptor: A, registry: SessionRegistry<A::Link>) -> AcceptLoop
+    where
+        A: Acceptor + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                let mut admitted = 0u64;
+                while !flag.load(Ordering::Acquire) {
+                    match acceptor.accept_timeout(ACCEPT_POLL) {
+                        Ok(Some(link)) => {
+                            registry.admit(link);
+                            admitted += 1;
+                        }
+                        Ok(None) => {}
+                        Err(TransportError::Closed) => break,
+                        // Transient socket errors (e.g. a connection reset
+                        // between accept and handshake) should not kill
+                        // the serving tier.
+                        Err(_) => {}
+                    }
+                }
+                admitted
+            })
+            .expect("spawn accept loop");
+        AcceptLoop {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the loop and joins its thread, returning how many sessions
+    /// it admitted. The acceptor is dropped (unbinding the address).
+    pub fn shutdown(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.handle
+            .take()
+            .and_then(|h| h.join().ok())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for AcceptLoop {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for AcceptLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AcceptLoop")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// The producer-side pipeline stage of the serving tier: a passive sink
+/// accepting [`WireBytes`] and teeing each sealed payload into every
+/// registered session via [`SessionRegistry::broadcast`] — the fan-out
+/// counterpart of the point-to-point [`NetSendEnd`](crate::NetSendEnd).
+///
+/// Broadcast control events go to every session's control lane; end of
+/// stream starts a registry-wide drain (sessions flush their queues, get
+/// a `Fin`, and are evicted).
+pub struct BroadcastSendEnd<L: Link> {
+    name: String,
+    registry: SessionRegistry<L>,
+}
+
+impl<L: Link> BroadcastSendEnd<L> {
+    /// Wraps a registry as a pipeline sink.
+    #[must_use]
+    pub fn new(name: impl Into<String>, registry: SessionRegistry<L>) -> BroadcastSendEnd<L> {
+        BroadcastSendEnd {
+            name: name.into(),
+            registry,
+        }
+    }
+
+    /// The registry this stage broadcasts into.
+    #[must_use]
+    pub fn registry(&self) -> &SessionRegistry<L> {
+        &self.registry
+    }
+}
+
+impl<L: Link> Stage for BroadcastSendEnd<L> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+
+    fn on_event(&mut self, _ctx: &mut EventCtx<'_, '_>, event: &ControlEvent) {
+        match event {
+            ControlEvent::Eos => {
+                self.registry.drain_all();
+                self.registry.sweep();
+            }
+            // Start/Stop are pipeline-local; per-session saturation
+            // readings come out of the registry, not the event bus.
+            ControlEvent::Start | ControlEvent::Stop => {}
+            other => self.registry.broadcast_event(other),
+        }
+    }
+}
+
+impl<L: Link> Consumer for BroadcastSendEnd<L> {
+    fn push(&mut self, _ctx: &mut StageCtx<'_, '_>, item: Item) {
+        if let Ok((bytes, _)) = item.into_payload::<WireBytes>() {
+            self.registry.broadcast(&bytes);
+        }
+    }
+}
+
+impl<L: Link> fmt::Debug for BroadcastSendEnd<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BroadcastSendEnd")
+            .field("name", &self.name)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}

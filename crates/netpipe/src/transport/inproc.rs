@@ -455,6 +455,10 @@ impl Acceptor for InProcAcceptor {
     fn accept(&self) -> Result<InProcLink, TransportError> {
         self.inner.accept()
     }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<InProcLink>, TransportError> {
+        self.inner.accept_timeout(timeout)
+    }
 }
 
 impl std::fmt::Debug for InProcAcceptor {

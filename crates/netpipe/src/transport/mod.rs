@@ -36,10 +36,10 @@
 //!
 //! | backend | scheme | loss | timing |
 //! |---------|--------|------|--------|
-//! | [`InProcTransport`](super::InProcTransport) | `inproc` | drops on full ring | immediate |
-//! | [`SimTransport`](super::SimTransport) | `sim` | drops on queue overflow | modelled latency/bandwidth/jitter, deterministic under virtual time |
-//! | [`TcpTransport`](super::TcpTransport) | `tcp` | reliable (saturates, never drops) | real sockets |
-//! | [`UdpTransport`](super::UdpTransport) | `udp` | lossy datagrams (oversize or overflow shed) | real sockets |
+//! | [`InProcTransport`] | `inproc` | drops on full ring | immediate |
+//! | [`SimTransport`] | `sim` | drops on queue overflow | modelled latency/bandwidth/jitter, deterministic under virtual time |
+//! | [`TcpTransport`] | `tcp` | reliable (saturates, never drops) | real sockets |
+//! | [`UdpTransport`] | `udp` | lossy datagrams (oversize or overflow shed) | real sockets |
 //!
 //! # Writing your own backend
 //!
@@ -86,6 +86,7 @@ pub(crate) mod rendezvous {
     use std::collections::{HashMap, VecDeque};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+    use std::time::{Duration, Instant};
 
     pub(crate) struct Endpoint<L> {
         pending: Mutex<VecDeque<L>>,
@@ -167,6 +168,27 @@ pub(crate) mod rendezvous {
                     return Err(TransportError::Closed);
                 }
                 self.endpoint.cv.wait(&mut pending);
+            }
+        }
+
+        pub(crate) fn accept_timeout(
+            &self,
+            timeout: Duration,
+        ) -> Result<Option<L>, TransportError> {
+            let deadline = Instant::now() + timeout;
+            let mut pending = self.endpoint.pending.lock();
+            loop {
+                if let Some(link) = pending.pop_front() {
+                    return Ok(Some(link));
+                }
+                if self.endpoint.closed.load(Ordering::Acquire) {
+                    return Err(TransportError::Closed);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(None);
+                }
+                let _ = self.endpoint.cv.wait_for(&mut pending, deadline - now);
             }
         }
     }
@@ -448,19 +470,47 @@ pub trait Acceptor: Send {
     ///
     /// [`TransportError::Closed`] when the transport shut down.
     fn accept(&self) -> Result<Self::Link, TransportError>;
+
+    /// Accepts the next incoming link, waiting at most `timeout`;
+    /// `Ok(None)` means the timeout elapsed with no connection pending.
+    ///
+    /// This is the polling form accept loops are built on
+    /// ([`AcceptLoop`](crate::serve::AcceptLoop)): a serving thread can
+    /// check its shutdown flag between bounded waits instead of parking
+    /// forever inside [`Acceptor::accept`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] when the transport shut down.
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<Self::Link>, TransportError>;
 }
 
 /// One end of an established netpipe connection.
 ///
 /// Links are cheaply cloneable handles; clones share the underlying
 /// connection (one clone feeds a [`NetSendEnd`] stage while another is
-/// probed for [`LinkStats`]).
-pub trait Link: Clone + Send + 'static {
+/// probed for [`LinkStats`]). They are also `Sync`: the serving tier
+/// ([`crate::serve`]) sends on a link from whichever thread runs the
+/// broadcast sweep while an accept loop and housekeeper hold the same
+/// handle.
+pub trait Link: Clone + Send + Sync + 'static {
     /// Identity of the remote end.
     fn peer(&self) -> PeerIdentity;
 
     /// Sends one frame from outside the kernel, reporting backpressure.
     fn send(&self, frame: Frame) -> SendStatus;
+
+    /// Whether a data-lane [`send`](Link::send) would return without
+    /// blocking right now. Backends that shed on overflow instead of
+    /// waiting (inproc, sim, udp) are always ready — the default. A
+    /// stream backend whose send can wait for queue space (TCP) must
+    /// report readiness honestly, so a fan-out sweep
+    /// ([`crate::serve`]) can leave a stalled client's frames queued
+    /// instead of stalling inside its send path. A closed link is
+    /// "ready": its send returns [`SendStatus::Closed`] immediately.
+    fn send_ready(&self) -> bool {
+        true
+    }
 
     /// Sends one frame from inside a kernel thread (pipeline stages).
     ///

@@ -618,6 +618,10 @@ impl Acceptor for SimAcceptor {
     fn accept(&self) -> Result<SimLink, TransportError> {
         self.inner.accept()
     }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<SimLink>, TransportError> {
+        self.inner.accept_timeout(timeout)
+    }
 }
 
 impl std::fmt::Debug for SimAcceptor {

@@ -437,6 +437,13 @@ impl Link for TcpLink {
         self.inner.tx.send(frame)
     }
 
+    fn send_ready(&self) -> bool {
+        let q = self.inner.tx.queues.lock();
+        // A finished or dead writer makes `send` return Closed without
+        // waiting, so only a full data lane means "would block".
+        q.fin_queued || q.writer_gone || q.data.len() < self.inner.tx.capacity
+    }
+
     fn recv(&self, timeout: Duration) -> RecvOutcome {
         if self.inner.fin_seen.load(Ordering::Acquire) {
             return RecvOutcome::Fin;
@@ -601,6 +608,35 @@ impl Acceptor for TcpAcceptor {
         let (stream, _) = self.listener.accept()?;
         stream.set_nodelay(true).ok();
         TcpLink::from_stream(stream, self.send_queue, self.batch)
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<TcpLink>, TransportError> {
+        // `TcpListener` has no native accept timeout: poll a nonblocking
+        // accept at a small granularity until the deadline.
+        const POLL: Duration = Duration::from_millis(5);
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        let outcome = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets do not inherit the listener's
+                    // nonblocking mode on every platform; force it off.
+                    stream.set_nonblocking(false).ok();
+                    stream.set_nodelay(true).ok();
+                    break TcpLink::from_stream(stream, self.send_queue, self.batch).map(Some);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break Ok(None);
+                    }
+                    std::thread::sleep(POLL.min(deadline - now));
+                }
+                Err(e) => break Err(TransportError::Io(e)),
+            }
+        };
+        self.listener.set_nonblocking(false).ok();
+        outcome
     }
 }
 

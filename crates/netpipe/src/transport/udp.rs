@@ -649,6 +649,37 @@ impl Acceptor for UdpAcceptor {
                 self.server.pending_cv.wait(&mut pending);
             }
         };
+        self.link_for(peer_addr)
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<Option<UdpLink>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let peer_addr = {
+            let mut pending = self.server.pending.lock();
+            loop {
+                if let Some(addr) = pending.pop_front() {
+                    break addr;
+                }
+                if self.server.closed.load(Ordering::Acquire) {
+                    return Err(TransportError::Closed);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(None);
+                }
+                let _ = self
+                    .server
+                    .pending_cv
+                    .wait_for(&mut pending, deadline - now);
+            }
+        };
+        self.link_for(peer_addr).map(Some)
+    }
+}
+
+impl UdpAcceptor {
+    /// Builds the server-side link for a handshaken peer address.
+    fn link_for(&self, peer_addr: std::net::SocketAddr) -> Result<UdpLink, TransportError> {
         let entry = {
             let peers = self.server.peers.lock();
             let entry = peers.get(&peer_addr).ok_or(TransportError::Closed)?;

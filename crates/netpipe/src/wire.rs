@@ -89,7 +89,7 @@ pub fn serialize_into<T: Serialize>(out: &mut Vec<u8>, value: &T) -> Result<(), 
     value.serialize(&mut WireSerializer { out })
 }
 
-/// Serializes a value into a single sealed [`PayloadBytes`] buffer —
+/// Serializes a value into a single sealed [`PayloadBytes`](infopipes::PayloadBytes) buffer —
 /// the entry point of the zero-copy payload path: the returned buffer is
 /// shared (never copied) by every downstream crossing.
 ///

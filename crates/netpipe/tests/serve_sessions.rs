@@ -1,0 +1,416 @@
+//! Session lifecycle coverage for the serving tier: refcounted fan-out,
+//! slow-client isolation and eviction, mid-broadcast disconnects, and
+//! the per-session feedback loop. A scripted stub [`Link`] drives the
+//! lifecycle deterministically; a real-socket TCP smoke closes the loop
+//! end to end.
+
+use infopipes::{payload_copy_count, BufferPool, ControlEvent, InboxSender, PayloadBytes};
+use netpipe::{
+    AcceptLoop, Acceptor, Frame, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus,
+    ServeConfig, SessionRegistry, SessionState, TcpTransport, Transport, TransportError,
+    SEND_SATURATION_READING,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(20);
+
+// ---------------------------------------------------------------------
+// A scripted link: the test controls readiness and send outcomes
+// ---------------------------------------------------------------------
+
+struct StubInner {
+    /// Status data-lane sends report (accepted frames are retained).
+    mode: Mutex<SendStatus>,
+    /// What `send_ready` reports (false = a send would block).
+    ready: AtomicBool,
+    /// Data frames the link accepted, as a receiver would hold them.
+    accepted: Mutex<Vec<PayloadBytes>>,
+    fins: AtomicUsize,
+}
+
+#[derive(Clone)]
+struct StubLink {
+    inner: Arc<StubInner>,
+}
+
+impl StubLink {
+    fn new(mode: SendStatus, ready: bool) -> StubLink {
+        StubLink {
+            inner: Arc::new(StubInner {
+                mode: Mutex::new(mode),
+                ready: AtomicBool::new(ready),
+                accepted: Mutex::new(Vec::new()),
+                fins: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    fn set_ready(&self, ready: bool) {
+        self.inner.ready.store(ready, Ordering::Release);
+    }
+
+    fn accepted(&self) -> Vec<PayloadBytes> {
+        self.inner.accepted.lock().clone()
+    }
+
+    fn clear_accepted(&self) {
+        self.inner.accepted.lock().clear();
+    }
+
+    fn fins(&self) -> usize {
+        self.inner.fins.load(Ordering::Acquire)
+    }
+}
+
+impl Link for StubLink {
+    fn peer(&self) -> PeerIdentity {
+        PeerIdentity::new("stub", "scripted")
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        match frame {
+            Frame::Data(bytes) => {
+                let status = *self.inner.mode.lock();
+                if status.accepted() {
+                    self.inner.accepted.lock().push(bytes);
+                }
+                status
+            }
+            Frame::Fin => {
+                self.inner.fins.fetch_add(1, Ordering::AcqRel);
+                SendStatus::Sent
+            }
+            Frame::Event(_) | Frame::Control(_) => SendStatus::Sent,
+        }
+    }
+
+    fn send_ready(&self) -> bool {
+        self.inner.ready.load(Ordering::Acquire)
+    }
+
+    fn recv(&self, _timeout: Duration) -> RecvOutcome {
+        RecvOutcome::TimedOut
+    }
+
+    fn bind_receiver(
+        &self,
+        _inbox: Option<InboxSender>,
+        _on_event: impl Fn(ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 8,
+        saturation_window: 4,
+        drain_deadline: Duration::from_millis(100),
+        ..ServeConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fan-out is refcounted: N sessions, one allocation, zero copies
+// ---------------------------------------------------------------------
+
+#[test]
+fn broadcast_shares_one_allocation_across_sessions() {
+    const SESSIONS: usize = 100;
+    let registry = SessionRegistry::new(ServeConfig::default());
+    let links: Vec<StubLink> = (0..SESSIONS)
+        .map(|_| {
+            let link = StubLink::new(SendStatus::Sent, true);
+            registry.admit(link.clone());
+            link
+        })
+        .collect();
+
+    let pool = BufferPool::new();
+    let mut sealed = pool.acquire(512);
+    sealed.buf_mut().extend_from_slice(&[0xAB; 512]);
+    let payload = sealed.seal();
+    // Our reference plus the pool's own tracking reference.
+    let base_refs = payload.ref_count();
+
+    let copies_before = payload_copy_count();
+    assert_eq!(registry.broadcast(&payload), SESSIONS);
+    assert_eq!(
+        payload_copy_count(),
+        copies_before,
+        "fanning one frame out to {SESSIONS} sessions must deep-copy nothing"
+    );
+
+    // Every session received a refcounted view of the *same* allocation…
+    for link in &links {
+        let got = link.accepted();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].shares_allocation_with(&payload));
+        assert_eq!(got[0].as_ptr(), payload.as_ptr());
+    }
+    // …so the one buffer is held once more per session.
+    assert_eq!(payload.ref_count(), base_refs + SESSIONS);
+
+    // Releasing the receivers releases the buffer back to the baseline.
+    for link in &links {
+        link.clear_accepted();
+    }
+    assert_eq!(payload.ref_count(), base_refs);
+    drop(payload);
+    assert_eq!(pool.stats().outstanding, 0, "the pooled buffer came home");
+}
+
+// ---------------------------------------------------------------------
+// A slow client degrades alone, then is force-evicted at the deadline
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_client_is_isolated_and_force_evicted_at_the_drain_deadline() {
+    let registry = SessionRegistry::new(small_config());
+    let fast = StubLink::new(SendStatus::Sent, true);
+    let slow = StubLink::new(SendStatus::Sent, false); // send would block
+    let fast_id = registry.admit(fast.clone());
+    let slow_id = registry.admit(slow.clone());
+
+    for i in 0..20u8 {
+        registry.broadcast(&PayloadBytes::from_vec(vec![i; 64]));
+    }
+
+    // The fast client got everything; the slow one stalled alone, its
+    // queue capped at capacity with the overflow shed oldest-first.
+    assert_eq!(fast.accepted().len(), 20);
+    assert!(slow.accepted().is_empty());
+    let snap = |id| {
+        registry
+            .sessions()
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("session resident")
+    };
+    assert_eq!(snap(fast_id).sent, 20);
+    assert_eq!(snap(slow_id).queued, 8, "queue bounded at capacity");
+    assert_eq!(snap(slow_id).shed, 12, "overflow sheds the oldest frames");
+
+    // Pressure shows up only in the slow session's readings.
+    let readings = registry.take_readings();
+    assert!(!readings.is_empty());
+    for (id, fraction) in &readings {
+        if *id == slow_id {
+            assert!(*fraction > 0.5, "slow session must read as pressured");
+        } else {
+            assert_eq!(*fraction, 0.0, "fast session must read calm");
+        }
+    }
+    assert!(readings.iter().any(|(id, _)| *id == slow_id));
+
+    // Drain: the fast session flushes out immediately; the slow one
+    // lingers in Draining until its deadline, then is force-evicted.
+    registry.drain_all();
+    registry.sweep();
+    assert_eq!(snap(fast_id).state, SessionState::Evicted);
+    assert_eq!(fast.fins(), 1, "orderly drain ends with a Fin");
+    assert_eq!(snap(slow_id).state, SessionState::Draining);
+
+    std::thread::sleep(Duration::from_millis(150));
+    registry.sweep();
+    let slow_snap = snap(slow_id);
+    assert_eq!(slow_snap.state, SessionState::Evicted);
+    assert_eq!(slow_snap.queued, 0, "force-eviction releases the queue");
+    assert_eq!(slow_snap.shed, 20, "unsent frames count as shed");
+    assert_eq!(slow.fins(), 1);
+
+    assert_eq!(registry.reap(), 2);
+    assert!(registry.is_empty());
+    let stats = registry.stats();
+    assert_eq!(stats.accepted_total, 2);
+    assert_eq!(stats.evicted_total, 2);
+}
+
+// ---------------------------------------------------------------------
+// A mid-broadcast disconnect evicts without leaking payload buffers
+// ---------------------------------------------------------------------
+
+#[test]
+fn disconnected_client_is_evicted_mid_broadcast_without_leaking() {
+    let registry = SessionRegistry::new(small_config());
+    let alive_a = StubLink::new(SendStatus::Sent, true);
+    let alive_b = StubLink::new(SendStatus::Sent, true);
+    let gone = StubLink::new(SendStatus::Closed, true);
+    registry.admit(alive_a.clone());
+    registry.admit(alive_b.clone());
+    let gone_id = registry.admit(gone.clone());
+
+    let pool = BufferPool::new();
+    let payload = {
+        let mut buf = pool.acquire(256);
+        buf.buf_mut().extend_from_slice(&[0x5A; 256]);
+        buf.seal()
+    };
+    // Our reference plus the pool's own tracking reference.
+    let base_refs = payload.ref_count();
+
+    // The dead link surfaces Closed during the flush: its session is
+    // evicted on the spot while the others receive the frame.
+    registry.broadcast(&payload);
+    let snapshot = registry
+        .sessions()
+        .into_iter()
+        .find(|s| s.id == gone_id)
+        .expect("resident until reaped");
+    assert_eq!(snapshot.state, SessionState::Evicted);
+    assert_eq!(alive_a.accepted().len(), 1);
+    assert_eq!(alive_b.accepted().len(), 1);
+    assert!(gone.accepted().is_empty());
+
+    // Subsequent broadcasts reach only the survivors.
+    assert_eq!(registry.broadcast(&payload), 2);
+    assert_eq!(registry.stats().active, 2);
+
+    // The evicted session holds no frame references: once the survivors
+    // and our original release theirs, the pooled buffer is home.
+    assert_eq!(
+        payload.ref_count(),
+        base_refs + 4,
+        "2 survivors × 2 frames beyond the baseline"
+    );
+    alive_a.clear_accepted();
+    alive_b.clear_accepted();
+    drop(payload);
+    registry.reap();
+    assert_eq!(
+        pool.stats().outstanding,
+        0,
+        "no payload buffer may leak through an eviction"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Per-session readings → controller bank → per-session drop levels
+// ---------------------------------------------------------------------
+
+#[test]
+fn per_session_readings_drive_independent_drop_levels() {
+    use feedback::{CongestionDropController, SessionControllerBank};
+
+    let registry = SessionRegistry::new(small_config());
+    let fast = StubLink::new(SendStatus::Sent, true);
+    let slow = StubLink::new(SendStatus::Sent, false);
+    let fast_id = registry.admit(fast.clone());
+    let slow_id = registry.admit(slow.clone());
+
+    for i in 0..16u8 {
+        registry.broadcast(&PayloadBytes::from_vec(vec![i; 32]));
+    }
+
+    // Close the loop: the registry's per-session readings feed a bank of
+    // independent congestion controllers; commands come back per session.
+    let mut bank =
+        SessionControllerBank::new(|_| CongestionDropController::new(SEND_SATURATION_READING));
+    let commands = bank.observe_values(SEND_SATURATION_READING, registry.take_readings());
+    assert!(
+        commands.iter().all(|(id, _)| *id == slow_id),
+        "only the pressured session may be commanded: {commands:?}"
+    );
+    let mut slow_level = 0;
+    for (id, command) in commands {
+        if let ControlEvent::SetDropLevel(level) = command {
+            registry.set_drop_level(id, level);
+            slow_level = level;
+        }
+    }
+    assert!(slow_level >= 1, "the slow session must be told to thin");
+
+    // With the slow client recovered, its frames are now *thinned* at
+    // the configured stride while the fast client still gets everything.
+    slow.set_ready(true);
+    let fast_before = fast.accepted().len();
+    for i in 0..24u8 {
+        registry.broadcast(&PayloadBytes::from_vec(vec![i; 32]));
+    }
+    let snap = |id| {
+        registry
+            .sessions()
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("resident")
+    };
+    assert_eq!(fast.accepted().len(), fast_before + 24);
+    assert_eq!(snap(fast_id).thinned, 0);
+    assert!(
+        snap(slow_id).thinned >= 16,
+        "a thinning session skips most broadcast frames: {:?}",
+        snap(slow_id)
+    );
+    assert_eq!(snap(fast_id).drop_level, 0);
+    assert!(snap(slow_id).drop_level >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Real sockets: accept, fan out, drain — over TCP
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_fanout_smoke() {
+    const CLIENTS: usize = 8;
+    const FRAMES: usize = 20;
+
+    let transport = TcpTransport::new();
+    let acceptor = transport.listen("127.0.0.1:0").expect("listen");
+    let addr = acceptor.local_addr();
+    let registry = SessionRegistry::new(ServeConfig::default());
+    let accept = AcceptLoop::spawn(acceptor, registry.clone());
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| transport.connect(&addr).expect("connect"))
+        .collect();
+    let deadline = Instant::now() + DEADLINE;
+    while registry.stats().active < CLIENTS && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(registry.stats().active, CLIENTS);
+
+    for i in 0..FRAMES {
+        registry.broadcast(&PayloadBytes::from_vec(vec![i as u8; 1024]));
+    }
+    registry.drain_all();
+
+    // Every client sees all frames in order, then the drain's Fin.
+    for client in &clients {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + DEADLINE;
+        loop {
+            registry.sweep();
+            match client.recv(Duration::from_millis(100)) {
+                RecvOutcome::Frame(Frame::Data(bytes)) => {
+                    got.push(bytes.as_slice()[0]);
+                }
+                RecvOutcome::Frame(_) => {}
+                RecvOutcome::Fin | RecvOutcome::Closed => break,
+                RecvOutcome::TimedOut => {
+                    assert!(Instant::now() < deadline, "fan-out stalled at {got:?}");
+                }
+            }
+        }
+        assert_eq!(got, (0..FRAMES).map(|i| i as u8).collect::<Vec<u8>>());
+    }
+
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        registry.sweep();
+        registry.reap();
+        if registry.is_empty() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "drain must complete");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(accept.shutdown() as usize, CLIENTS);
+    assert_eq!(registry.stats().evicted_total, CLIENTS as u64);
+}

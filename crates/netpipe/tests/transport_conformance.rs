@@ -16,12 +16,23 @@ use infopipes::helpers::{CollectSink, FnFunction, IterSource};
 use infopipes::{BufferSpec, ControlEvent, FreePump, PayloadBytes, Pipeline};
 use mbthread::{Kernel, KernelConfig};
 use netpipe::{
-    Acceptor, Frame, InProcTransport, Link, Marshal, PipelineTransportExt, RecvOutcome, SendStatus,
-    SimConfig, SimTransport, TcpTransport, Transport, UdpTransport, Unmarshal, WireBytes,
+    AcceptLoop, Acceptor, Frame, InProcTransport, Link, Marshal, PipelineTransportExt, RecvOutcome,
+    SendStatus, ServeConfig, SessionRegistry, SimConfig, SimTransport, TcpTransport, Transport,
+    UdpTransport, Unmarshal, WireBytes,
 };
 use std::time::{Duration, Instant};
 
 const DEADLINE: Duration = Duration::from_secs(20);
+
+/// The simulator seed for this run: CI sweeps `SIM_SEED` over a small
+/// matrix so timing-sensitive paths are exercised under several
+/// deterministic schedules instead of hiding behind one lucky seed.
+fn sim_seed() -> u64 {
+    std::env::var("SIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
 
 fn data_frame(i: u32) -> Frame {
     Frame::Data(netpipe::wire::to_payload(&i).expect("encode"))
@@ -457,6 +468,87 @@ fn check_inproc_zero_copy(kernel: &Kernel) {
 }
 
 // ---------------------------------------------------------------------
+// Property 8: accept loops admit every connection and shut down cleanly
+// ---------------------------------------------------------------------
+
+/// An [`AcceptLoop`] over the backend's acceptor must turn every
+/// connection into an active session, fan a broadcast frame out to all
+/// of them, and — the part that needs [`Acceptor::accept_timeout`] —
+/// shut down promptly without a poison connection, leaving the registry
+/// drainable to empty.
+fn check_accept_loop_shutdown<T: Transport>(transport: &T, addr: &str, clients: usize) {
+    let acceptor = transport.listen(addr).expect("listen");
+    let bound = acceptor.local_addr();
+    let registry: SessionRegistry<T::Link> = SessionRegistry::new(ServeConfig::default());
+    let accept = AcceptLoop::spawn(acceptor, registry.clone());
+
+    let links: Vec<T::Link> = (0..clients)
+        .map(|_| transport.connect(&bound).expect("connect"))
+        .collect();
+    let deadline = Instant::now() + DEADLINE;
+    while registry.stats().active < clients && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        registry.stats().active,
+        clients,
+        "every connection must become an active session"
+    );
+
+    // One broadcast reaches every session.
+    let payload = PayloadBytes::from_vec(vec![7u8; 64]);
+    assert_eq!(registry.broadcast(&payload), clients);
+    for client in &links {
+        let deadline = Instant::now() + DEADLINE;
+        loop {
+            match client.recv(Duration::from_millis(100)) {
+                RecvOutcome::Frame(Frame::Data(bytes)) => {
+                    assert_eq!(bytes.as_slice(), &[7u8; 64][..]);
+                    break;
+                }
+                RecvOutcome::Frame(_) => {}
+                RecvOutcome::TimedOut => {
+                    assert!(Instant::now() < deadline, "broadcast frame never arrived");
+                }
+                other => panic!("unexpected {other:?} before the broadcast frame"),
+            }
+        }
+    }
+
+    // Shutdown joins the loop thread (no hanging on a blocked accept).
+    let admitted = accept.shutdown();
+    assert_eq!(admitted as usize, clients);
+
+    // Drain to empty: every session flushes, gets its Fin, and is reaped.
+    registry.drain_all();
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        registry.sweep();
+        registry.reap();
+        if registry.is_empty() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "drain must complete");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.accepted_total as usize, clients);
+    assert_eq!(stats.evicted_total as usize, clients);
+    for client in &links {
+        let deadline = Instant::now() + DEADLINE;
+        loop {
+            match client.recv(Duration::from_millis(100)) {
+                RecvOutcome::Fin | RecvOutcome::Closed => break,
+                RecvOutcome::Frame(_) => {}
+                RecvOutcome::TimedOut => {
+                    assert!(Instant::now() < deadline, "drain must deliver a Fin");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The four backends × the conformance properties
 // ---------------------------------------------------------------------
 
@@ -478,6 +570,7 @@ fn inproc_conforms() {
     check_payload_immutability(&InProcTransport::new(), "immut");
     check_pooled_recycling(&InProcTransport::new(), "pool");
     check_inproc_zero_copy(&kernel);
+    check_accept_loop_shutdown(&InProcTransport::new(), "accept", 8);
     kernel.shutdown();
 }
 
@@ -489,6 +582,7 @@ fn sim_conforms() {
             k,
             SimConfig {
                 latency: Duration::from_millis(1),
+                seed: sim_seed(),
                 ..SimConfig::default()
             },
         )
@@ -501,6 +595,7 @@ fn sim_conforms() {
             SimConfig {
                 latency: Duration::from_secs(60),
                 queue_bytes: 4096,
+                seed: sim_seed(),
                 ..SimConfig::default()
             },
         ),
@@ -518,6 +613,7 @@ fn sim_conforms() {
             SimConfig {
                 latency: Duration::from_millis(1),
                 bandwidth_bps: Some(200_000.0),
+                seed: sim_seed(),
                 ..SimConfig::default()
             },
         ),
@@ -528,6 +624,7 @@ fn sim_conforms() {
     check_clean_shutdown(&fast(&kernel), "fin", &kernel);
     check_payload_immutability(&fast(&kernel), "immut");
     check_pooled_recycling(&fast(&kernel), "pool");
+    check_accept_loop_shutdown(&fast(&kernel), "accept", 8);
     kernel.shutdown();
 }
 
@@ -557,6 +654,7 @@ fn tcp_conforms() {
     check_clean_shutdown(&TcpTransport::new(), "127.0.0.1:0", &kernel);
     check_payload_immutability(&TcpTransport::new(), "127.0.0.1:0");
     check_pooled_recycling(&TcpTransport::new(), "127.0.0.1:0");
+    check_accept_loop_shutdown(&TcpTransport::new(), "127.0.0.1:0", 8);
     kernel.shutdown();
 }
 
@@ -582,5 +680,6 @@ fn udp_conforms() {
     check_clean_shutdown(&UdpTransport::new(), "127.0.0.1:0", &kernel);
     check_payload_immutability(&UdpTransport::new(), "127.0.0.1:0");
     check_pooled_recycling(&UdpTransport::new(), "127.0.0.1:0");
+    check_accept_loop_shutdown(&UdpTransport::new(), "127.0.0.1:0", 8);
     kernel.shutdown();
 }

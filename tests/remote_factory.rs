@@ -158,6 +158,68 @@ fn client_creates_and_feeds_a_remote_pipeline_over_tcp() {
 }
 
 #[test]
+fn host_pipeline_stops_after_abrupt_client_disconnect() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A pass-through consumer that records whether the pipeline it lives
+    // in was ever stopped.
+    struct StopProbe {
+        stopped: Arc<AtomicBool>,
+    }
+    impl infopipes::Stage for StopProbe {
+        fn name(&self) -> &str {
+            "stop-probe"
+        }
+        fn accepts(&self) -> typespec::Typespec {
+            typespec::Typespec::with_item_type(infopipes::ItemType::of::<netpipe::WireBytes>())
+        }
+        fn on_event(&mut self, _ctx: &mut infopipes::EventCtx<'_, '_>, event: &ControlEvent) {
+            if matches!(event, ControlEvent::Stop) {
+                self.stopped.store(true, Ordering::Release);
+            }
+        }
+    }
+    impl infopipes::Consumer for StopProbe {
+        fn push(&mut self, _ctx: &mut infopipes::StageCtx<'_, '_>, _item: infopipes::Item) {}
+    }
+
+    let stopped = Arc::new(AtomicBool::new(false));
+    let probe_flag = Arc::clone(&stopped);
+    let mut reg = ComponentRegistry::new();
+    reg.register("stop-probe", move || {
+        Style::Consumer(Box::new(StopProbe {
+            stopped: Arc::clone(&probe_flag),
+        }))
+    });
+
+    let transport = InProcTransport::new();
+    let acceptor = transport.listen("abrupt").unwrap();
+    let host_thread = std::thread::spawn(move || {
+        let kernel = Kernel::new(KernelConfig::default());
+        let host = RemoteHost::new("host-node", reg);
+        let link = acceptor.accept().unwrap();
+        let result = host.serve_link(&link, &kernel);
+        // Let the Stop broadcast sweep the (now stopping) pipeline.
+        std::thread::sleep(Duration::from_millis(200));
+        kernel.shutdown();
+        result
+    });
+
+    let mut client = RemoteClient::connect(&transport, "abrupt").unwrap();
+    client.create_pipeline(&["stop-probe"]).unwrap();
+    // Vanish without a Fin: the host sees the link close mid-stream.
+    drop(client);
+
+    let result = host_thread.join().unwrap();
+    assert!(result.is_err(), "an abrupt close is a serve error");
+    assert!(
+        stopped.load(std::sync::atomic::Ordering::Acquire),
+        "serve_link must stop its pipeline on a link error — the peer's \
+         typespec-location rewrite must not outlive the connection"
+    );
+}
+
+#[test]
 fn unknown_component_is_refused_over_inproc() {
     // The factory protocol itself is transport-agnostic: the refusal
     // path runs over the in-process backend with the same code.
