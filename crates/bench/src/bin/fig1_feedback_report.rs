@@ -51,11 +51,15 @@ fn run(bandwidth_bps: f64, with_feedback: bool) -> Outcome {
         let (display, display_stats) = DisplaySink::new();
         let sink = pipeline.add_consumer("display", display);
         if with_feedback {
-            let mut controller =
-                DropLevelController::new("recv-rate-hz", 60.0).with_fractions([1.0, 0.67, 0.44]);
+            let mut controller = DropLevelController::new(feedback::readings::RECV_RATE_HZ, 60.0)
+                .with_fractions([1.0, 0.67, 0.44]);
             controller.raise_below = 0.9;
-            let (fb, _) =
-                FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
+            let (fb, _) = FeedbackLoop::with_rate_sensor(
+                "feedback",
+                feedback::readings::RECV_RATE_HZ,
+                15,
+                controller,
+            );
             let fb = pipeline.add_consumer("feedback", fb);
             let _ = inbox >> net_pump >> unmarshal >> fb >> defrag >> decode;
         } else {

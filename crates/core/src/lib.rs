@@ -68,6 +68,7 @@ mod pool;
 mod pump;
 mod runtime;
 mod stage;
+mod stats;
 mod tee;
 
 pub mod helpers;
@@ -83,6 +84,10 @@ pub use pool::{BufferPool, PoolBuffer, PoolStats};
 pub use pump::{ClockedPump, CycleOutcome, FreePump, Pump, Schedule};
 pub use runtime::{EventCtx, EventSubscription, RunningPipeline, StageCtx};
 pub use stage::{ActiveObject, Consumer, Function, Producer, Stage, Style};
+pub use stats::{
+    EntitySample, Metric, MetricValue, SourceBody, SourceId, SourceSample, StatsRegistry,
+    StatsSnapshot,
+};
 pub use tee::SplitKind;
 
 // Re-export the flow-typing vocabulary so users need only one import.

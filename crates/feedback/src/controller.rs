@@ -195,6 +195,202 @@ impl Controller for CongestionDropController {
     }
 }
 
+/// One signal's policy inside a [`UnifiedCongestionController`]: the
+/// reading it matches, its raise/lower thresholds and hysteresis, and —
+/// the priority rule — the highest drop level this signal alone may
+/// demand.
+#[derive(Clone, Debug)]
+pub struct SignalRule {
+    /// The reading name this rule matches.
+    pub reading: String,
+    /// Raise the signal's level when a reading is at or above this value.
+    pub raise_at: f64,
+    /// Count a reading at or below this value as a calm window.
+    pub lower_at: f64,
+    /// The highest drop level this signal may demand on its own — the
+    /// priority rule: primary signals get the full range, secondary
+    /// signals are capped so they can nudge but never starve the stream
+    /// by themselves.
+    pub max_level: u8,
+    /// Consecutive calm windows required before lowering.
+    pub patience: u32,
+}
+
+impl SignalRule {
+    /// A rule with [`CongestionDropController`]'s defaults: raise at 0.5,
+    /// lower at 0.0, full range (max level 2), patience 3.
+    #[must_use]
+    pub fn new(reading: impl Into<String>) -> SignalRule {
+        SignalRule {
+            reading: reading.into(),
+            raise_at: 0.5,
+            lower_at: 0.0,
+            max_level: 2,
+            patience: 3,
+        }
+    }
+
+    /// Overrides the raise threshold.
+    #[must_use]
+    pub fn raising_at(mut self, raise_at: f64) -> SignalRule {
+        self.raise_at = raise_at;
+        self
+    }
+
+    /// Overrides the calm threshold.
+    #[must_use]
+    pub fn lowering_at(mut self, lower_at: f64) -> SignalRule {
+        self.lower_at = lower_at;
+        self
+    }
+
+    /// Caps the level this signal may demand (the priority rule).
+    #[must_use]
+    pub fn capped(mut self, max_level: u8) -> SignalRule {
+        self.max_level = max_level;
+        self
+    }
+
+    /// Overrides the recovery patience.
+    #[must_use]
+    pub fn with_patience(mut self, patience: u32) -> SignalRule {
+        self.patience = patience;
+        self
+    }
+}
+
+struct SignalState {
+    rule: SignalRule,
+    level: u8,
+    calm_windows: u32,
+}
+
+impl SignalState {
+    /// Per-signal hysteresis, mirroring [`CongestionDropController`].
+    fn observe(&mut self, value: f64) {
+        if value >= self.rule.raise_at {
+            self.calm_windows = 0;
+            if self.level < self.rule.max_level {
+                self.level += 1;
+            }
+        } else if value <= self.rule.lower_at && self.level > 0 {
+            self.calm_windows += 1;
+            if self.calm_windows >= self.rule.patience {
+                self.calm_windows = 0;
+                self.level -= 1;
+            }
+        } else {
+            self.calm_windows = 0;
+        }
+    }
+}
+
+/// One congestion policy over several pressure signals — send-side
+/// saturation *and* receive-side memory pressure — instead of an ad-hoc
+/// [`CongestionDropController`] per signal, each fighting over the same
+/// actuator.
+///
+/// Every [`SignalRule`] keeps its own level with its own hysteresis; the
+/// announced drop level is the **maximum** over the signals. Two priority
+/// rules fall out of that shape:
+///
+/// * a signal's [`SignalRule::max_level`] caps how far it can push alone
+///   (in [`standard`](UnifiedCongestionController::standard), receive-side
+///   signals stop at level 1; only send saturation reaches level 2), and
+/// * recovery follows the *slowest pressured* signal — a calm primary
+///   cannot lower the level while a capped secondary still holds it up.
+///
+/// A command is emitted only when the announced maximum changes, so
+/// several signals agreeing on the same level do not spam the actuator.
+///
+/// Feed it from one [`RegistrySensor`](crate::RegistrySensor) polling the
+/// process [`StatsRegistry`](infopipes::StatsRegistry), and the whole
+/// loop is: registry → sensor → this controller → `SetDropLevel`.
+pub struct UnifiedCongestionController {
+    signals: Vec<SignalState>,
+    announced: u8,
+}
+
+impl UnifiedCongestionController {
+    /// A controller with no signals (add them with
+    /// [`with_signal`](UnifiedCongestionController::with_signal)).
+    #[must_use]
+    pub fn new() -> UnifiedCongestionController {
+        UnifiedCongestionController {
+            signals: Vec::new(),
+            announced: 0,
+        }
+    }
+
+    /// Adds one signal rule.
+    #[must_use]
+    pub fn with_signal(mut self, rule: SignalRule) -> UnifiedCongestionController {
+        self.signals.push(SignalState {
+            rule,
+            level: 0,
+            calm_windows: 0,
+        });
+        self
+    }
+
+    /// The standard manifold policy over the canonical readings:
+    ///
+    /// * [`readings::SEND_SATURATION`](crate::readings::SEND_SATURATION) — primary, full range (level 2),
+    /// * [`readings::POOL_MISS`](crate::readings::POOL_MISS) — secondary, capped at level 1, raising
+    ///   when half the acquisitions miss,
+    /// * [`readings::UDP_RX_SHED`](crate::readings::UDP_RX_SHED) — secondary, capped at level 1,
+    ///   raising on any shed activity in a window (feed it a per-window
+    ///   delta, not the cumulative count).
+    #[must_use]
+    pub fn standard() -> UnifiedCongestionController {
+        UnifiedCongestionController::new()
+            .with_signal(SignalRule::new(crate::readings::SEND_SATURATION))
+            .with_signal(SignalRule::new(crate::readings::POOL_MISS).capped(1))
+            .with_signal(
+                SignalRule::new(crate::readings::UDP_RX_SHED)
+                    .raising_at(1.0)
+                    .capped(1),
+            )
+    }
+
+    /// The currently announced drop level (the max over signals).
+    #[must_use]
+    pub fn level(&self) -> u8 {
+        self.announced
+    }
+
+    /// The named signal's own level, for introspection.
+    #[must_use]
+    pub fn signal_level(&self, reading: &str) -> Option<u8> {
+        self.signals
+            .iter()
+            .find(|s| s.rule.reading == reading)
+            .map(|s| s.level)
+    }
+}
+
+impl Default for UnifiedCongestionController {
+    fn default() -> Self {
+        UnifiedCongestionController::new()
+    }
+}
+
+impl Controller for UnifiedCongestionController {
+    fn observe(&mut self, reading: &SensorReading) -> Option<ControlEvent> {
+        let signal = self
+            .signals
+            .iter_mut()
+            .find(|s| s.rule.reading == reading.name)?;
+        signal.observe(reading.value);
+        let level = self.signals.iter().map(|s| s.level).max().unwrap_or(0);
+        if level != self.announced {
+            self.announced = level;
+            return Some(ControlEvent::SetDropLevel(level));
+        }
+        None
+    }
+}
+
 /// A proportional rate controller: nudges a pump's rate to hold a buffer
 /// at a target fill level (the real-rate allocator of ref \[27\], reduced
 /// to its proportional term).
@@ -252,6 +448,7 @@ impl Controller for ProportionalRateController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::readings;
 
     fn reading(name: &str, value: f64) -> SensorReading {
         SensorReading {
@@ -262,34 +459,34 @@ mod tests {
 
     #[test]
     fn drop_controller_escalates_under_congestion() {
-        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
+        let mut c = DropLevelController::new(readings::RECV_RATE_HZ, 30.0);
         // Delivery collapses to 10 Hz: raise to level 1.
         assert_eq!(
-            c.observe(&reading("recv-rate-hz", 10.0)),
+            c.observe(&reading(readings::RECV_RATE_HZ, 10.0)),
             Some(ControlEvent::SetDropLevel(1))
         );
         // At level 1 we expect ~10 Hz; 9.9 Hz is within band: no change.
-        assert_eq!(c.observe(&reading("recv-rate-hz", 9.9)), None);
+        assert_eq!(c.observe(&reading(readings::RECV_RATE_HZ, 9.9)), None);
         // Still worse: raise to level 2.
         assert_eq!(
-            c.observe(&reading("recv-rate-hz", 5.0)),
+            c.observe(&reading(readings::RECV_RATE_HZ, 5.0)),
             Some(ControlEvent::SetDropLevel(2))
         );
         // Max level: no further escalation.
-        assert_eq!(c.observe(&reading("recv-rate-hz", 1.0)), None);
+        assert_eq!(c.observe(&reading(readings::RECV_RATE_HZ, 1.0)), None);
         assert_eq!(c.level(), 2);
     }
 
     #[test]
     fn drop_controller_recovers_with_hysteresis() {
-        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
-        let _ = c.observe(&reading("recv-rate-hz", 10.0)); // -> level 1
-                                                           // Expected at level 1 is ~10.2 Hz; sustained full delivery should
-                                                           // lower the level, but only after `patience` good windows.
-        assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
-        assert_eq!(c.observe(&reading("recv-rate-hz", 10.2)), None);
+        let mut c = DropLevelController::new(readings::RECV_RATE_HZ, 30.0);
+        let _ = c.observe(&reading(readings::RECV_RATE_HZ, 10.0)); // -> level 1
+                                                                   // Expected at level 1 is ~10.2 Hz; sustained full delivery should
+                                                                   // lower the level, but only after `patience` good windows.
+        assert_eq!(c.observe(&reading(readings::RECV_RATE_HZ, 10.2)), None);
+        assert_eq!(c.observe(&reading(readings::RECV_RATE_HZ, 10.2)), None);
         assert_eq!(
-            c.observe(&reading("recv-rate-hz", 10.2)),
+            c.observe(&reading(readings::RECV_RATE_HZ, 10.2)),
             Some(ControlEvent::SetDropLevel(0))
         );
         assert_eq!(c.level(), 0);
@@ -297,25 +494,25 @@ mod tests {
 
     #[test]
     fn drop_controller_ignores_other_readings() {
-        let mut c = DropLevelController::new("recv-rate-hz", 30.0);
-        assert_eq!(c.observe(&reading("fill-level", 0.0)), None);
+        let mut c = DropLevelController::new(readings::RECV_RATE_HZ, 30.0);
+        assert_eq!(c.observe(&reading(readings::FILL_LEVEL, 0.0)), None);
     }
 
     #[test]
     fn rate_controller_is_proportional_and_clamped() {
-        let mut c = ProportionalRateController::new("fill-level", 30.0, 0.5, 1.0);
+        let mut c = ProportionalRateController::new(readings::FILL_LEVEL, 30.0, 0.5, 1.0);
         // At target: base rate.
-        match c.observe(&reading("fill-level", 0.5)) {
+        match c.observe(&reading(readings::FILL_LEVEL, 0.5)) {
             Some(ControlEvent::SetRate(r)) => assert!((r - 30.0).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
         }
         // Overfull buffer: speed up.
-        match c.observe(&reading("fill-level", 1.0)) {
+        match c.observe(&reading(readings::FILL_LEVEL, 1.0)) {
             Some(ControlEvent::SetRate(r)) => assert!(r > 30.0),
             other => panic!("unexpected {other:?}"),
         }
         // Clamped below.
-        match c.observe(&reading("fill-level", -100.0)) {
+        match c.observe(&reading(readings::FILL_LEVEL, -100.0)) {
             Some(ControlEvent::SetRate(r)) => assert!((r - 7.5).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),
         }
@@ -323,33 +520,96 @@ mod tests {
 
     #[test]
     fn congestion_controller_reacts_to_send_side_backpressure() {
-        let mut c = CongestionDropController::new("net-send-saturation");
+        let mut c = CongestionDropController::new(readings::SEND_SATURATION);
         // Calm link: nothing to do.
-        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.0)), None);
         // Half the window saturated: raise.
         assert_eq!(
-            c.observe(&reading("net-send-saturation", 0.5)),
+            c.observe(&reading(readings::SEND_SATURATION, 0.5)),
             Some(ControlEvent::SetDropLevel(1))
         );
         // Still saturated: raise to the cap and stay there.
         assert_eq!(
-            c.observe(&reading("net-send-saturation", 1.0)),
+            c.observe(&reading(readings::SEND_SATURATION, 1.0)),
             Some(ControlEvent::SetDropLevel(2))
         );
-        assert_eq!(c.observe(&reading("net-send-saturation", 1.0)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 1.0)), None);
         assert_eq!(c.level(), 2);
         // Recovery needs `patience` fully calm windows; a mildly
         // pressured window resets the count without raising.
-        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
-        assert_eq!(c.observe(&reading("net-send-saturation", 0.2)), None);
-        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
-        assert_eq!(c.observe(&reading("net-send-saturation", 0.0)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.0)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.2)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.0)), None);
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.0)), None);
         assert_eq!(
-            c.observe(&reading("net-send-saturation", 0.0)),
+            c.observe(&reading(readings::SEND_SATURATION, 0.0)),
             Some(ControlEvent::SetDropLevel(1))
         );
         // Other readings are ignored.
-        assert_eq!(c.observe(&reading("recv-rate-hz", 0.9)), None);
+        assert_eq!(c.observe(&reading(readings::RECV_RATE_HZ, 0.9)), None);
+    }
+
+    #[test]
+    fn unified_controller_takes_the_max_over_signals() {
+        let mut c = UnifiedCongestionController::standard();
+        // Memory pressure alone: capped at level 1.
+        assert_eq!(
+            c.observe(&reading(readings::POOL_MISS, 0.9)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        assert_eq!(c.observe(&reading(readings::POOL_MISS, 0.9)), None);
+        assert_eq!(c.level(), 1);
+        // The primary signal escalates past the cap.
+        assert_eq!(c.observe(&reading(readings::SEND_SATURATION, 0.8)), None);
+        assert_eq!(
+            c.observe(&reading(readings::SEND_SATURATION, 0.8)),
+            Some(ControlEvent::SetDropLevel(2))
+        );
+        assert_eq!(c.level(), 2);
+        assert_eq!(c.signal_level(readings::SEND_SATURATION), Some(2));
+        assert_eq!(c.signal_level(readings::POOL_MISS), Some(1));
+        // Unknown readings are ignored.
+        assert_eq!(c.observe(&reading("unrelated", 99.0)), None);
+    }
+
+    #[test]
+    fn unified_recovery_follows_the_slowest_signal() {
+        let mut c = UnifiedCongestionController::new()
+            .with_signal(SignalRule::new("a").with_patience(1))
+            .with_signal(SignalRule::new("b").with_patience(1).capped(1));
+        assert_eq!(
+            c.observe(&reading("a", 1.0)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        assert_eq!(c.observe(&reading("b", 1.0)), None, "same max: no spam");
+        // `a` goes calm, but `b` still holds the level up.
+        assert_eq!(c.observe(&reading("a", 0.0)), None);
+        assert_eq!(c.level(), 1);
+        // Only when `b` recovers too does the announced level fall.
+        assert_eq!(
+            c.observe(&reading("b", 0.0)),
+            Some(ControlEvent::SetDropLevel(0))
+        );
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn unified_shed_rule_wants_deltas() {
+        // The standard rx-shed rule raises on any per-window shed
+        // activity (>= 1.0) and recovers over quiet windows.
+        let mut c = UnifiedCongestionController::standard();
+        assert_eq!(c.observe(&reading(readings::UDP_RX_SHED, 0.0)), None);
+        assert_eq!(
+            c.observe(&reading(readings::UDP_RX_SHED, 4.0)),
+            Some(ControlEvent::SetDropLevel(1))
+        );
+        for _ in 0..2 {
+            assert_eq!(c.observe(&reading(readings::UDP_RX_SHED, 0.0)), None);
+        }
+        assert_eq!(
+            c.observe(&reading(readings::UDP_RX_SHED, 0.0)),
+            Some(ControlEvent::SetDropLevel(0))
+        );
     }
 
     #[test]

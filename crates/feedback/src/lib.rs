@@ -12,13 +12,15 @@
 mod controller;
 mod drift;
 mod loopctl;
+pub mod readings;
 mod sensor;
 mod session;
 
 pub use controller::{
     CongestionDropController, Controller, DropLevelController, ProportionalRateController,
+    SignalRule, UnifiedCongestionController,
 };
 pub use drift::DriftEstimator;
 pub use loopctl::{FeedbackLoop, LoopStats};
-pub use sensor::{FillLevelSensor, GaugeSensor, RateSensor, SensorReading};
+pub use sensor::{FillLevelSensor, GaugeSensor, RateSensor, RegistrySensor, SensorReading};
 pub use session::SessionControllerBank;

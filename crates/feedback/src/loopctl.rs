@@ -132,8 +132,9 @@ mod tests {
             // 10 Hz flow but the controller expects 100 Hz: it should
             // escalate the drop level.
             let pump = pipeline.add_pump("pump", ClockedPump::hz(10.0));
-            let controller = crate::DropLevelController::new("recv-rate-hz", 100.0);
-            let (fb, stats) = FeedbackLoop::with_rate_sensor("fb", "recv-rate-hz", 5, controller);
+            let controller = crate::DropLevelController::new(crate::readings::RECV_RATE_HZ, 100.0);
+            let (fb, stats) =
+                FeedbackLoop::with_rate_sensor("fb", crate::readings::RECV_RATE_HZ, 5, controller);
             let fb = pipeline.add_consumer("fb", fb);
             let (sink, _out) = CollectSink::<u32>::new("sink");
             let sink = pipeline.add_consumer("sink", sink);
@@ -161,20 +162,21 @@ mod tests {
     #[test]
     fn event_driven_loop_reacts_to_remote_readings() {
         let controller = move |r: &SensorReading| {
-            (r.name == "fill-level" && r.value > 0.9).then_some(ControlEvent::SetRate(60.0))
+            (r.name == crate::readings::FILL_LEVEL && r.value > 0.9)
+                .then_some(ControlEvent::SetRate(60.0))
         };
         let (mut fb, stats) = FeedbackLoop::event_driven("fb", controller);
         // Feed readings directly (unit level).
         assert_eq!(
             fb.feed(&SensorReading {
-                name: "fill-level".into(),
+                name: crate::readings::FILL_LEVEL.into(),
                 value: 0.95
             }),
             Some(ControlEvent::SetRate(60.0))
         );
         assert_eq!(
             fb.feed(&SensorReading {
-                name: "fill-level".into(),
+                name: crate::readings::FILL_LEVEL.into(),
                 value: 0.2
             }),
             None

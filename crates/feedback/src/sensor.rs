@@ -1,14 +1,14 @@
 //! Sensors: components that measure a flow and report readings as custom
 //! control events.
 
-use infopipes::{BufferProbe, ControlEvent, Function, Item, Stage};
+use infopipes::{BufferProbe, ControlEvent, Function, Item, Stage, StatsRegistry};
 use std::fmt;
 
 /// A named scalar measurement, as carried by a
 /// [`ControlEvent::Custom`] event.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SensorReading {
-    /// The reading's name (e.g. `"recv-rate-hz"`, `"fill-level"`).
+    /// The reading's name (e.g. `crate::readings::RECV_RATE_HZ`, `crate::readings::FILL_LEVEL`).
     pub name: String,
     /// The measured value.
     pub value: f64,
@@ -152,13 +152,13 @@ impl FillLevelSensor {
 /// depending on this crate.
 ///
 /// ```
-/// use feedback::GaugeSensor;
+/// use feedback::{readings, GaugeSensor};
 /// use std::sync::atomic::{AtomicU64, Ordering};
 /// use std::sync::Arc;
 ///
 /// let sheds = Arc::new(AtomicU64::new(0));
 /// let probe = Arc::clone(&sheds);
-/// let sensor = GaugeSensor::new("udp-rx-shed", move || {
+/// let sensor = GaugeSensor::new(readings::UDP_RX_SHED, move || {
 ///     probe.load(Ordering::Relaxed) as f64
 /// });
 /// sheds.store(3, Ordering::Relaxed);
@@ -189,6 +189,116 @@ impl GaugeSensor {
     }
 }
 
+/// How a [`RegistrySensor`] probe turns a metric into a reading value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ProbeMode {
+    /// Report the metric's current value.
+    Gauge,
+    /// Report the increase since the previous sample — turns cumulative
+    /// counters (e.g. `rx_shed`) into per-window activity a controller
+    /// with a threshold can act on.
+    Delta,
+}
+
+struct RegistryProbe {
+    source: String,
+    metric: String,
+    reading: String,
+    mode: ProbeMode,
+    last: Option<f64>,
+}
+
+/// One sensor over the process-wide [`StatsRegistry`]: each configured
+/// probe maps a `(source, metric)` pair to a named [`SensorReading`], so
+/// a single poll fans the registry's signals into one reading stream a
+/// controller (e.g.
+/// [`UnifiedCongestionController`](crate::UnifiedCongestionController))
+/// consumes. This replaces wiring one ad-hoc [`GaugeSensor`] per signal:
+/// the registry is the contract, and adding a signal is one more probe.
+///
+/// Metrics missing from a snapshot (source not yet registered, or
+/// unregistered mid-run) are skipped, not reported as zero — a vanished
+/// producer must not read as "calm".
+pub struct RegistrySensor {
+    registry: StatsRegistry,
+    probes: Vec<RegistryProbe>,
+}
+
+impl RegistrySensor {
+    /// Creates a sensor with no probes over `registry`.
+    #[must_use]
+    pub fn new(registry: &StatsRegistry) -> RegistrySensor {
+        RegistrySensor {
+            registry: registry.clone(),
+            probes: Vec::new(),
+        }
+    }
+
+    fn probe(
+        mut self,
+        source: impl Into<String>,
+        metric: impl Into<String>,
+        reading: impl Into<String>,
+        mode: ProbeMode,
+    ) -> RegistrySensor {
+        self.probes.push(RegistryProbe {
+            source: source.into(),
+            metric: metric.into(),
+            reading: reading.into(),
+            mode,
+            last: None,
+        });
+        self
+    }
+
+    /// Adds a probe reporting `source`/`metric`'s current value under
+    /// `reading`.
+    #[must_use]
+    pub fn gauge(
+        self,
+        source: impl Into<String>,
+        metric: impl Into<String>,
+        reading: impl Into<String>,
+    ) -> RegistrySensor {
+        self.probe(source, metric, reading, ProbeMode::Gauge)
+    }
+
+    /// Adds a probe reporting `source`/`metric`'s increase since the
+    /// previous sample under `reading` (the first sample establishes the
+    /// baseline and reports the raw value).
+    #[must_use]
+    pub fn delta(
+        self,
+        source: impl Into<String>,
+        metric: impl Into<String>,
+        reading: impl Into<String>,
+    ) -> RegistrySensor {
+        self.probe(source, metric, reading, ProbeMode::Delta)
+    }
+
+    /// Takes one registry snapshot and reports every probe that found
+    /// its metric, in probe order.
+    pub fn sample(&mut self) -> Vec<SensorReading> {
+        let snap = self.registry.snapshot();
+        let mut out = Vec::with_capacity(self.probes.len());
+        for probe in &mut self.probes {
+            let Some(value) = snap.value(&probe.source, &probe.metric) else {
+                continue;
+            };
+            let reported = match probe.mode {
+                ProbeMode::Gauge => value,
+                ProbeMode::Delta => value - probe.last.unwrap_or(0.0),
+            };
+            probe.last = Some(value);
+            out.push(SensorReading {
+                name: probe.reading.clone(),
+                value: reported,
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,20 +309,59 @@ mod tests {
         use std::sync::Arc;
         let misses = Arc::new(AtomicU64::new(0));
         let probe = Arc::clone(&misses);
-        let s = GaugeSensor::new("pool-miss-rate", move || {
+        let s = GaugeSensor::new(crate::readings::POOL_MISS, move || {
             probe.load(Ordering::Relaxed) as f64 / 100.0
         });
         assert_eq!(s.read().value, 0.0);
         misses.store(50, Ordering::Relaxed);
         let r = s.read();
-        assert_eq!(r.name, "pool-miss-rate");
+        assert_eq!(r.name, crate::readings::POOL_MISS);
         assert_eq!(r.value, 0.5);
+    }
+
+    #[test]
+    fn registry_sensor_maps_metrics_to_named_readings() {
+        use infopipes::Metric;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let registry = StatsRegistry::new();
+        let shed = Arc::new(AtomicU64::new(0));
+        let probe = Arc::clone(&shed);
+        registry.register("downlink", "transport", move || {
+            vec![
+                Metric::counter("rx_shed", "frames", probe.load(Ordering::Relaxed)),
+                Metric::gauge("miss_rate", "fraction", 0.75),
+            ]
+            .into()
+        });
+        let mut sensor = RegistrySensor::new(&registry)
+            .gauge("downlink", "miss_rate", crate::readings::POOL_MISS)
+            .delta("downlink", "rx_shed", crate::readings::UDP_RX_SHED)
+            .gauge("ghost", "nothing", "never-reported");
+
+        shed.store(3, Ordering::Relaxed);
+        let readings = sensor.sample();
+        // The unregistered source is skipped, not reported as zero.
+        assert_eq!(readings.len(), 2);
+        assert_eq!(readings[0].name, crate::readings::POOL_MISS);
+        assert_eq!(readings[0].value, 0.75);
+        assert_eq!(readings[1].name, crate::readings::UDP_RX_SHED);
+        assert_eq!(readings[1].value, 3.0);
+
+        // The delta probe reports only the new sheds next time.
+        shed.store(5, Ordering::Relaxed);
+        let readings = sensor.sample();
+        assert_eq!(readings[1].value, 2.0);
+        // No change: the delta goes calm instead of re-reporting.
+        let readings = sensor.sample();
+        assert_eq!(readings[1].value, 0.0);
     }
 
     #[test]
     fn reading_round_trips_through_events() {
         let r = SensorReading {
-            name: "fill-level".into(),
+            name: crate::readings::FILL_LEVEL.into(),
             value: 0.75,
         };
         let ev = r.to_event();
@@ -222,7 +371,7 @@ mod tests {
 
     #[test]
     fn rate_sensor_reports_per_window() {
-        let mut s = RateSensor::new("recv-rate-hz", 5);
+        let mut s = RateSensor::new(crate::readings::RECV_RATE_HZ, 5);
         // 5 items 10 ms apart: the first completes a window after 40 ms
         // of elapsed window time (4 intervals observed from the window
         // start).

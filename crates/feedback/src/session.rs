@@ -21,13 +21,13 @@ use std::collections::HashMap;
 /// An independent [`Controller`] per session, built on demand.
 ///
 /// ```
-/// use feedback::{CongestionDropController, SessionControllerBank};
+/// use feedback::{readings, CongestionDropController, SessionControllerBank};
 /// use infopipes::ControlEvent;
 ///
 /// let mut bank =
-///     SessionControllerBank::new(|_id| CongestionDropController::new("net-send-saturation"));
+///     SessionControllerBank::new(|_id| CongestionDropController::new(readings::SEND_SATURATION));
 /// // Session 7 saturates; session 9 is calm. Only 7 is told to thin.
-/// let cmds = bank.observe_values("net-send-saturation", [(7, 0.8), (9, 0.0)]);
+/// let cmds = bank.observe_values(readings::SEND_SATURATION, [(7, 0.8), (9, 0.0)]);
 /// assert_eq!(cmds, vec![(7, ControlEvent::SetDropLevel(1))]);
 /// ```
 pub struct SessionControllerBank<C: Controller> {
@@ -121,13 +121,15 @@ impl<C: Controller> std::fmt::Debug for SessionControllerBank<C> {
 mod tests {
     use super::*;
     use crate::controller::CongestionDropController;
+    use crate::readings;
 
     #[test]
     fn sessions_escalate_independently() {
-        let mut bank =
-            SessionControllerBank::new(|_| CongestionDropController::new("net-send-saturation"));
+        let mut bank = SessionControllerBank::new(|_| {
+            CongestionDropController::new(readings::SEND_SATURATION)
+        });
         // Session 1 saturates twice: walks to level 2. Session 2 stays calm.
-        let cmds = bank.observe_values("net-send-saturation", [(1, 0.9), (2, 0.0), (1, 0.9)]);
+        let cmds = bank.observe_values(readings::SEND_SATURATION, [(1, 0.9), (2, 0.0), (1, 0.9)]);
         assert_eq!(
             cmds,
             vec![
@@ -147,23 +149,25 @@ mod tests {
 
     #[test]
     fn forget_resets_a_session() {
-        let mut bank =
-            SessionControllerBank::new(|_| CongestionDropController::new("net-send-saturation"));
-        let _ = bank.observe_values("net-send-saturation", [(1, 0.9)]);
+        let mut bank = SessionControllerBank::new(|_| {
+            CongestionDropController::new(readings::SEND_SATURATION)
+        });
+        let _ = bank.observe_values(readings::SEND_SATURATION, [(1, 0.9)]);
         assert_eq!(bank.len(), 1);
         bank.forget(1);
         assert!(bank.is_empty());
         // A fresh controller starts over at level 0 → first saturated
         // window commands level 1 again.
-        let cmds = bank.observe_values("net-send-saturation", [(1, 0.9)]);
+        let cmds = bank.observe_values(readings::SEND_SATURATION, [(1, 0.9)]);
         assert_eq!(cmds, vec![(1, ControlEvent::SetDropLevel(1))]);
     }
 
     #[test]
     fn retain_reconciles_against_a_roster() {
-        let mut bank =
-            SessionControllerBank::new(|_| CongestionDropController::new("net-send-saturation"));
-        let _ = bank.observe_values("net-send-saturation", [(1, 0.9), (2, 0.9), (3, 0.9)]);
+        let mut bank = SessionControllerBank::new(|_| {
+            CongestionDropController::new(readings::SEND_SATURATION)
+        });
+        let _ = bank.observe_values(readings::SEND_SATURATION, [(1, 0.9), (2, 0.9), (3, 0.9)]);
         bank.retain(|id| id == 2);
         assert_eq!(bank.len(), 1);
         assert!(bank.controller(2).is_some());

@@ -51,6 +51,20 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
+    /// The counters as `(name, value)` pairs, in a fixed order — the
+    /// enumeration observability exporters iterate instead of hard-coding
+    /// the field list.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("context_switches", self.context_switches),
+            ("messages_sent", self.messages_sent),
+            ("sync_sends", self.sync_sends),
+            ("timer_fires", self.timer_fires),
+            ("threads_spawned", self.threads_spawned),
+        ]
+    }
+
     /// Counter increases since the `earlier` snapshot.
     #[must_use]
     pub fn delta_since(&self, earlier: &KernelStats) -> KernelStats {

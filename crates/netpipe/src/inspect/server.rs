@@ -1,0 +1,249 @@
+//! The inspector's control-channel server and client.
+//!
+//! An [`InspectServer`] parks an accept loop on any
+//! [`Acceptor`] and answers [`InspectRequest`]s on each
+//! accepted link with a freshly sampled [`WireSnapshot`]. The exchange
+//! uses only [`Frame::Control`] frames, so it runs unchanged over
+//! inproc, sim, TCP, and UDP — exactly the property the remote factory
+//! protocol ([`crate::remote`]) established for data pipelines, applied
+//! to the observability plane.
+//!
+//! The client side, [`InspectClient`], is symmetric: connect over any
+//! [`Transport`], call [`fetch`](InspectClient::fetch), get one
+//! coherent [`WireSnapshot`].
+
+use super::schema::{InspectReply, InspectRequest, WireSnapshot, SCHEMA_VERSION};
+use crate::transport::{Acceptor, Frame, Link, RecvOutcome, Transport};
+use crate::wire;
+use infopipes::StatsRegistry;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the client waits for a snapshot reply before giving up.
+const CTRL_TIMEOUT: Duration = Duration::from_secs(20);
+/// Poll granularity for accept and receive loops.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Errors of the inspector protocol.
+#[derive(Debug)]
+pub enum InspectError {
+    /// A transport error.
+    Transport(crate::TransportError),
+    /// A malformed protocol message.
+    Wire(String),
+    /// The peer violated the protocol (wrong frame, timeout, closed).
+    Protocol(String),
+    /// The server speaks a different schema version.
+    Version {
+        /// The version the server announced.
+        got: u32,
+    },
+}
+
+impl fmt::Display for InspectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InspectError::Transport(e) => write!(f, "transport error: {e}"),
+            InspectError::Wire(s) => write!(f, "malformed message: {s}"),
+            InspectError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            InspectError::Version { got } => write!(
+                f,
+                "schema version mismatch: server speaks v{got}, client speaks v{SCHEMA_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InspectError {}
+
+impl From<crate::TransportError> for InspectError {
+    fn from(e: crate::TransportError) -> Self {
+        InspectError::Transport(e)
+    }
+}
+
+/// A running inspector endpoint: an accept loop plus one handler thread
+/// per connected client, each answering snapshot requests from a shared
+/// [`StatsRegistry`].
+///
+/// Shut down explicitly with [`shutdown`](InspectServer::shutdown) or
+/// implicitly on drop.
+pub struct InspectServer {
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl InspectServer {
+    /// Spawns the accept loop on an already-bound acceptor.
+    ///
+    /// Each accepted link gets its own handler thread; handlers exit on
+    /// Fin/Closed, on shutdown, or when a reply is not accepted by the
+    /// link.
+    #[must_use]
+    pub fn spawn<A>(acceptor: A, registry: StatsRegistry) -> InspectServer
+    where
+        A: Acceptor + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let accept_stop = Arc::clone(&stop);
+        let accept_served = Arc::clone(&served);
+        let accept_thread = std::thread::Builder::new()
+            .name("inspect-accept".into())
+            .spawn(move || {
+                let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+                while !accept_stop.load(Ordering::Acquire) {
+                    match acceptor.accept_timeout(POLL) {
+                        Ok(Some(link)) => {
+                            let stop = Arc::clone(&accept_stop);
+                            let served = Arc::clone(&accept_served);
+                            let registry = registry.clone();
+                            if let Ok(h) = std::thread::Builder::new()
+                                .name("inspect-handler".into())
+                                .spawn(move || handle_link(&link, &registry, &stop, &served))
+                            {
+                                handlers.push(h);
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn inspect accept thread");
+        InspectServer {
+            stop,
+            served,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// How many snapshots this server has answered so far.
+    #[must_use]
+    pub fn snapshots_served(&self) -> u64 {
+        self.served.load(Ordering::Acquire)
+    }
+
+    /// Stops the accept loop and all handler threads, and waits for
+    /// them to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for InspectServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_link<L: Link>(link: &L, registry: &StatsRegistry, stop: &AtomicBool, served: &AtomicU64) {
+    while !stop.load(Ordering::Acquire) {
+        match link.recv(POLL) {
+            RecvOutcome::Frame(Frame::Control(payload)) => {
+                let Ok(req) = wire::from_bytes::<InspectRequest>(&payload) else {
+                    return; // malformed request: drop the client
+                };
+                let InspectRequest::Snapshot(_client_version) = req;
+                // v1 serves every client; the reply carries the server
+                // version so the client decides compatibility.
+                let snap = WireSnapshot::from(&registry.snapshot());
+                let reply = InspectReply::Snapshot(snap);
+                let Ok(bytes) = wire::to_bytes(&reply) else {
+                    return;
+                };
+                // Counted before the send: a client that has decoded the
+                // reply must already observe the bump.
+                served.fetch_add(1, Ordering::AcqRel);
+                if !link.send(Frame::Control(bytes)).accepted() {
+                    return;
+                }
+            }
+            // Events and data on an inspector link are not ours; skip.
+            RecvOutcome::Frame(_) | RecvOutcome::TimedOut => {}
+            RecvOutcome::Fin | RecvOutcome::Closed => return,
+        }
+    }
+}
+
+/// A connected inspector client over any [`Link`].
+pub struct InspectClient<L: Link> {
+    link: L,
+}
+
+impl<L: Link> InspectClient<L> {
+    /// Connects to an inspector endpoint over a transport.
+    ///
+    /// # Errors
+    ///
+    /// [`InspectError::Transport`] when the connect fails.
+    pub fn connect<T: Transport<Link = L>>(
+        transport: &T,
+        addr: &str,
+    ) -> Result<InspectClient<L>, InspectError> {
+        Ok(InspectClient {
+            link: transport.connect(addr)?,
+        })
+    }
+
+    /// Wraps an already-established link.
+    #[must_use]
+    pub fn over(link: L) -> InspectClient<L> {
+        InspectClient { link }
+    }
+
+    /// Requests and decodes one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`InspectError::Transport`] if the request is not accepted,
+    /// [`InspectError::Wire`] on a malformed reply,
+    /// [`InspectError::Protocol`] on timeout or an unexpected frame,
+    /// [`InspectError::Version`] if the server speaks a different
+    /// schema version.
+    pub fn fetch(&self) -> Result<WireSnapshot, InspectError> {
+        let req = wire::to_bytes(&InspectRequest::Snapshot(SCHEMA_VERSION))
+            .map_err(|e| InspectError::Wire(e.to_string()))?;
+        if !self.link.send(Frame::Control(req)).accepted() {
+            return Err(InspectError::Transport(crate::TransportError::Closed));
+        }
+        let deadline = std::time::Instant::now() + CTRL_TIMEOUT;
+        loop {
+            match self.link.recv(POLL) {
+                RecvOutcome::Frame(Frame::Control(payload)) => {
+                    let InspectReply::Snapshot(snap) = wire::from_bytes(&payload)
+                        .map_err(|e| InspectError::Wire(e.to_string()))?;
+                    if snap.version != SCHEMA_VERSION {
+                        return Err(InspectError::Version { got: snap.version });
+                    }
+                    return Ok(snap);
+                }
+                // Inspector links may coexist with event chatter; skip.
+                RecvOutcome::Frame(Frame::Event(_)) | RecvOutcome::TimedOut => {}
+                RecvOutcome::Frame(_) => {
+                    return Err(InspectError::Protocol(
+                        "expected a snapshot reply, got a data frame".into(),
+                    ));
+                }
+                RecvOutcome::Fin | RecvOutcome::Closed => {
+                    return Err(InspectError::Protocol("connection closed".into()));
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(InspectError::Protocol(
+                    "timed out waiting for a snapshot".into(),
+                ));
+            }
+        }
+    }
+}

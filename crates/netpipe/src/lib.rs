@@ -39,11 +39,18 @@
 //!   ([`remote`]), generic over the transport: a [`RemoteHost`] builds a
 //!   consumer-side pipeline from a client's component list and forwards
 //!   control events in both directions — the same [`RemoteClient`] code
-//!   runs over TCP, the simulator, or an in-process link.
+//!   runs over TCP, the simulator, or an in-process link,
+//! * a **live inspector** ([`inspect`]): every subsystem's stats —
+//!   sessions, links, pools, kernel, marshalling, feedback loops —
+//!   registered in one process-wide
+//!   [`StatsRegistry`](infopipes::StatsRegistry) and exported over a
+//!   versioned control-channel protocol on any transport
+//!   ([`InspectServer`] / [`InspectClient`]).
 
 #![warn(missing_docs)]
 
 pub mod framing;
+pub mod inspect;
 mod marshal;
 mod proto;
 pub mod remote;
@@ -53,7 +60,8 @@ pub mod wire;
 
 pub use framing::{read_frame, read_frame_in, write_frame, FrameKind};
 pub use infopipes::{BufferPool, PayloadBytes, PoolStats};
-pub use marshal::{Marshal, Unmarshal, UnmarshalStats, WireBytes};
+pub use inspect::{InspectClient, InspectError, InspectServer, WireSnapshot};
+pub use marshal::{Marshal, Unmarshal, UnmarshalCounters, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
 pub use serve::{
@@ -62,8 +70,8 @@ pub use serve::{
 };
 pub use transport::{
     Acceptor, BatchPolicy, Frame, InProcAcceptor, InProcLink, InProcTransport, Link, LinkStats,
-    NetSendEnd, PeerIdentity, PipelineTransportExt, RecvOutcome, SendStatus, SimAcceptor,
-    SimConfig, SimLink, SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport,
+    NetSendEnd, PeerIdentity, PipelineTransportExt, RecvOutcome, SaturationProbe, SendStatus,
+    SimAcceptor, SimConfig, SimLink, SimTransport, TcpAcceptor, TcpLink, TcpTransport, Transport,
     TransportError, UdpAcceptor, UdpLink, UdpTransport, POOL_MISS_READING, SEND_SATURATION_READING,
     UDP_RX_SHED_READING,
 };

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use typespec::{TypeError, Typespec};
 
@@ -122,7 +123,8 @@ impl<T: Serialize + Send + 'static> Function for Marshal<T> {
     }
 }
 
-/// Counters kept by an [`Unmarshal`] filter.
+/// A point-in-time snapshot of an [`Unmarshal`] filter's counters (see
+/// [`UnmarshalCounters::snapshot`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UnmarshalStats {
     /// Messages decoded.
@@ -136,12 +138,56 @@ pub struct UnmarshalStats {
     pub location: Option<String>,
 }
 
+/// The live counters behind an [`Unmarshal`] filter, shared with
+/// observers through [`Unmarshal::stats_handle`].
+///
+/// The counts are plain atomics so the decode hot loop bumps them
+/// lock-free and an inspector sampling mid-stream never contends it
+/// (the location label, written once at configuration time, keeps a
+/// mutex nobody touches per message).
+#[derive(Debug, Default)]
+pub struct UnmarshalCounters {
+    decoded: AtomicU64,
+    errors: AtomicU64,
+    location: Mutex<Option<String>>,
+}
+
+impl UnmarshalCounters {
+    /// Messages decoded so far.
+    #[must_use]
+    pub fn decoded(&self) -> u64 {
+        self.decoded.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped because decoding failed.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The configured location stamp, if any.
+    #[must_use]
+    pub fn location(&self) -> Option<String> {
+        self.location.lock().clone()
+    }
+
+    /// A consistent snapshot of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> UnmarshalStats {
+        UnmarshalStats {
+            decoded: self.decoded(),
+            errors: self.errors(),
+            location: self.location(),
+        }
+    }
+}
+
 /// Deserializes [`WireBytes`] back to typed items (function style).
 /// Undecodable messages are dropped and counted, never propagated.
 pub struct Unmarshal<T> {
     name: String,
     to_node: Option<String>,
-    stats: Arc<Mutex<UnmarshalStats>>,
+    stats: Arc<UnmarshalCounters>,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -152,7 +198,7 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Unmarshal<T> {
         Unmarshal {
             name: name.into(),
             to_node: None,
-            stats: Arc::new(Mutex::new(UnmarshalStats::default())),
+            stats: Arc::new(UnmarshalCounters::default()),
             _marker: PhantomData,
         }
     }
@@ -162,7 +208,7 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Unmarshal<T> {
     #[must_use]
     pub fn at_node(mut self, node: impl Into<String>) -> Unmarshal<T> {
         self.to_node = Some(node.into());
-        self.stats.lock().location = self.to_node.clone();
+        *self.stats.location.lock() = self.to_node.clone();
         self
     }
 
@@ -174,9 +220,10 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Unmarshal<T> {
         self.at_node(peer.to_string())
     }
 
-    /// A handle on the decode statistics.
+    /// A handle on the decode counters, sampled lock-free (see
+    /// [`UnmarshalCounters::snapshot`]).
     #[must_use]
-    pub fn stats_handle(&self) -> Arc<Mutex<UnmarshalStats>> {
+    pub fn stats_handle(&self) -> Arc<UnmarshalCounters> {
         Arc::clone(&self.stats)
     }
 }
@@ -212,13 +259,13 @@ impl<T: DeserializeOwned + Clone + Send + 'static> Function for Unmarshal<T> {
         // payload is made on the receive path.
         match wire::from_bytes::<T>(&bytes) {
             Ok(value) => {
-                self.stats.lock().decoded += 1;
+                self.stats.decoded.fetch_add(1, Ordering::Relaxed);
                 let mut out = Item::cloneable(value);
                 out.meta = meta;
                 Some(out)
             }
             Err(_) => {
-                self.stats.lock().errors += 1;
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -254,8 +301,16 @@ mod tests {
         let mut u = u;
         let garbage = Item::bytes(WireBytes::from(vec![1, 2, 3]));
         assert!(u.convert(garbage).is_none());
-        assert_eq!(stats.lock().errors, 1);
-        assert_eq!(stats.lock().decoded, 0);
+        assert_eq!(stats.errors(), 1);
+        assert_eq!(stats.decoded(), 0);
+        assert_eq!(
+            stats.snapshot(),
+            UnmarshalStats {
+                decoded: 0,
+                errors: 1,
+                location: None
+            }
+        );
     }
 
     #[test]
@@ -296,14 +351,11 @@ mod tests {
 
         // The stamped location is surfaced in the stats probe.
         assert_eq!(
-            u.stats_handle().lock().location.as_deref(),
+            u.stats_handle().location().as_deref(),
             Some("tcp://10.1.2.3:9000")
         );
         assert_eq!(
-            Unmarshal::<u32>::new("plain")
-                .stats_handle()
-                .lock()
-                .location,
+            Unmarshal::<u32>::new("plain").stats_handle().location(),
             None
         );
     }

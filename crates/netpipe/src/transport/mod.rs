@@ -605,20 +605,50 @@ pub(crate) fn drain_receiver<L: Link>(
 
 /// The default reading name under which [`NetSendEnd`] broadcasts its
 /// send-side congestion observations (see
-/// [`NetSendEnd::with_congestion_reports`]).
-pub const SEND_SATURATION_READING: &str = "net-send-saturation";
+/// [`NetSendEnd::with_congestion_reports`]). Canonically
+/// [`feedback::readings::SEND_SATURATION`]; re-exported here so
+/// transport users need not import `feedback`.
+pub const SEND_SATURATION_READING: &str = feedback::readings::SEND_SATURATION;
 
 /// Reading name for the pool-miss rate of a link's buffer pool: the
 /// fraction of acquisitions that fell back to a fresh allocation (0..1).
 /// Rising values mean downstream consumers hold payloads longer than the
 /// pool can recycle them — memory pressure a congestion controller can
-/// react to just like send saturation.
-pub const POOL_MISS_READING: &str = "pool-miss-rate";
+/// react to just like send saturation. Canonically
+/// [`feedback::readings::POOL_MISS`].
+pub const POOL_MISS_READING: &str = feedback::readings::POOL_MISS;
 
 /// Reading name for the UDP receive-queue shed count: frames discarded
 /// because the bounded receive queue was full. Reported as a cumulative
-/// count; pair with a rate window when controlling on it.
-pub const UDP_RX_SHED_READING: &str = "udp-rx-shed";
+/// count; pair with a rate window when controlling on it. Canonically
+/// [`feedback::readings::UDP_RX_SHED`].
+pub const UDP_RX_SHED_READING: &str = feedback::readings::UDP_RX_SHED;
+
+/// A lock-free probe onto a [`NetSendEnd`]'s most recent *completed*
+/// saturation window: the same 0..1 fraction the stage broadcasts as a
+/// control event, readable from outside the pipeline. This is how send
+/// saturation enters the process [`StatsRegistry`](infopipes::StatsRegistry)
+/// (see [`crate::inspect::register_saturation`]), where a
+/// `feedback::RegistrySensor` can poll it alongside receive-side signals.
+///
+/// Reads 0.0 until the first window completes; stays at the last
+/// completed window thereafter.
+#[derive(Clone, Debug, Default)]
+pub struct SaturationProbe {
+    bits: Arc<AtomicU64>,
+}
+
+impl SaturationProbe {
+    /// The most recent completed window's saturation fraction.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, fraction: f64) {
+        self.bits.store(fraction.to_bits(), Ordering::Relaxed);
+    }
+}
 
 /// How a wire-backed link coalesces small data frames before writing.
 ///
@@ -688,6 +718,7 @@ pub struct NetSendEnd<L: Link> {
     window: u64,
     window_sends: u64,
     window_pressured: u64,
+    probe: SaturationProbe,
 }
 
 impl<L: Link> NetSendEnd<L> {
@@ -702,6 +733,7 @@ impl<L: Link> NetSendEnd<L> {
             window: SATURATION_WINDOW,
             window_sends: 0,
             window_pressured: 0,
+            probe: SaturationProbe::default(),
         }
     }
 
@@ -736,6 +768,15 @@ impl<L: Link> NetSendEnd<L> {
         &self.link
     }
 
+    /// A shared probe onto this stage's completed saturation windows —
+    /// take it *before* handing the stage to a pipeline, then register
+    /// it with the process stats registry. Updated only while congestion
+    /// reporting is enabled.
+    #[must_use]
+    pub fn saturation_probe(&self) -> SaturationProbe {
+        self.probe.clone()
+    }
+
     /// Folds one send status into the current window; returns a reading
     /// to broadcast when the window completes.
     fn observe_send(&mut self, status: SendStatus) -> Option<ControlEvent> {
@@ -756,6 +797,7 @@ impl<L: Link> NetSendEnd<L> {
         let fraction = self.window_pressured as f64 / self.window_sends as f64;
         self.window_sends = 0;
         self.window_pressured = 0;
+        self.probe.set(fraction);
         Some(ControlEvent::custom(reading, fraction))
     }
 }

@@ -72,10 +72,14 @@ fn run_fig1(with_feedback: bool) -> Outcome {
             // starves. An IBBPBB... GOP at 512-byte MTU yields ~18
             // packets per 9 frames (60 pkt/s at 30 fps); reference-only
             // delivery is ~40 pkt/s (0.67), I-only ~27 pkt/s (0.44).
-            let controller =
-                DropLevelController::new("recv-rate-hz", 60.0).with_fractions([1.0, 0.67, 0.44]);
-            let (fb, _fb_stats) =
-                FeedbackLoop::with_rate_sensor("feedback", "recv-rate-hz", 15, controller);
+            let controller = DropLevelController::new(feedback::readings::RECV_RATE_HZ, 60.0)
+                .with_fractions([1.0, 0.67, 0.44]);
+            let (fb, _fb_stats) = FeedbackLoop::with_rate_sensor(
+                "feedback",
+                feedback::readings::RECV_RATE_HZ,
+                15,
+                controller,
+            );
             let feedback_node = pipeline.add_consumer("feedback", fb);
             let _ = inbox >> net_pump >> unmarshal >> feedback_node >> defrag >> decode;
         } else {
