@@ -32,3 +32,9 @@ pub const RECV_RATE_HZ: &str = "recv-rate-hz";
 /// A buffer's fill fraction (0..1), as reported by a
 /// [`FillLevelSensor`](crate::FillLevelSensor).
 pub const FILL_LEVEL: &str = "fill-level";
+
+/// Replay lag-behind-schedule in seconds: how far past its recorded
+/// virtual timestamp the replayer delivered the most recent frame. Zero
+/// under an unloaded virtual-time kernel; a persistently positive value
+/// means the replay target cannot keep up with the recorded schedule.
+pub const REPLAY_LAG: &str = "replay-lag-sec";

@@ -44,6 +44,7 @@ pub use schema::{
 pub use server::{InspectClient, InspectError, InspectServer};
 
 use crate::marshal::UnmarshalCounters;
+use crate::record::{RecorderCounters, ReplayCounters};
 use crate::serve::SessionRegistry;
 use crate::transport::{Link, SaturationProbe};
 use feedback::LoopStats;
@@ -66,6 +67,8 @@ pub const SUBSYSTEM_MARSHAL: &str = "marshal";
 pub const SUBSYSTEM_FEEDBACK: &str = "feedback";
 /// Subsystem label for process-wide core counters.
 pub const SUBSYSTEM_CORE: &str = "core";
+/// Subsystem label for the record & replay subsystem.
+pub const SUBSYSTEM_RECORD: &str = "record";
 
 /// Registers a serving-tier [`SessionRegistry`] under `name`.
 ///
@@ -234,6 +237,56 @@ pub fn register_saturation(
     let probe = probe.clone();
     stats.register(name, SUBSYSTEM_TRANSPORT, move || {
         SourceBody::metrics(vec![Metric::gauge("saturation", "fraction", probe.get())])
+    })
+}
+
+/// Registers a [`TraceWriter`](crate::TraceWriter)'s
+/// [`RecorderCounters`] under `name` (take the handle with
+/// [`TraceWriter::counters`](crate::TraceWriter::counters)): records
+/// and payload bytes accepted, file bytes written, and chunk flushes.
+pub fn register_recorder(
+    stats: &StatsRegistry,
+    name: impl Into<String>,
+    counters: &Arc<RecorderCounters>,
+) -> SourceId {
+    let counters = Arc::clone(counters);
+    stats.register(name, SUBSYSTEM_RECORD, move || {
+        SourceBody::metrics(vec![
+            Metric::counter("records", "records", counters.records()),
+            Metric::counter("payload_bytes", "bytes", counters.payload_bytes()),
+            Metric::counter("file_bytes", "bytes", counters.file_bytes()),
+            Metric::counter("chunk_flushes", "chunks", counters.chunk_flushes()),
+        ])
+    })
+}
+
+/// Registers a running replay's [`ReplayCounters`] under `name` (take
+/// the handle with
+/// [`ReplayHandle::counters`](crate::ReplayHandle::counters)).
+/// `recovered_bytes` is the torn-tail byte count the
+/// [`TraceReader`](crate::TraceReader) reported for the trace being
+/// replayed (0 for a clean file). The `lag_behind` gauge is the
+/// registry-side twin of the [`feedback::readings::REPLAY_LAG`]
+/// reading: seconds the most recent frame went out past its recorded
+/// timestamp.
+pub fn register_replayer(
+    stats: &StatsRegistry,
+    name: impl Into<String>,
+    counters: &Arc<ReplayCounters>,
+    recovered_bytes: u64,
+) -> SourceId {
+    let counters = Arc::clone(counters);
+    stats.register(name, SUBSYSTEM_RECORD, move || {
+        SourceBody::metrics(vec![
+            Metric::counter("frames", "frames", counters.frames()),
+            Metric::counter("bytes", "bytes", counters.bytes()),
+            Metric::counter("unroutable", "records", counters.unroutable()),
+            Metric::counter("send_failures", "frames", counters.send_failures()),
+            Metric::counter("torn_recovered_bytes", "bytes", recovered_bytes),
+            Metric::gauge("lag_behind", "seconds", counters.lag_last_ns() as f64 / 1e9),
+            Metric::gauge("lag_max", "seconds", counters.lag_max_ns() as f64 / 1e9),
+            Metric::text("done", if counters.is_done() { "true" } else { "false" }),
+        ])
     })
 }
 

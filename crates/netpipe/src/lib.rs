@@ -40,6 +40,12 @@
 //!   consumer-side pipeline from a client's component list and forwards
 //!   control events in both directions — the same [`RemoteClient`] code
 //!   runs over TCP, the simulator, or an in-process link,
+//! * **record & replay** ([`record`]): a chunked, CRC-guarded trace
+//!   container capturing frames (with virtual timestamps, channel
+//!   typespecs, and the sim scenario) zero-copy off any link or
+//!   pipeline edge ([`RecordingLink`], [`Recorder`]), crash-safe
+//!   recovery on open ([`TraceReader`]), and a [`Replayer`] that
+//!   re-runs a trace bit-identically under virtual time,
 //! * a **live inspector** ([`inspect`]): every subsystem's stats —
 //!   sessions, links, pools, kernel, marshalling, feedback loops —
 //!   registered in one process-wide
@@ -53,6 +59,7 @@ pub mod framing;
 pub mod inspect;
 mod marshal;
 mod proto;
+pub mod record;
 pub mod remote;
 pub mod serve;
 pub mod transport;
@@ -63,6 +70,10 @@ pub use infopipes::{BufferPool, PayloadBytes, PoolStats};
 pub use inspect::{InspectClient, InspectError, InspectServer, WireSnapshot};
 pub use marshal::{Marshal, Unmarshal, UnmarshalCounters, UnmarshalStats, WireBytes};
 pub use proto::WireEvent;
+pub use record::{
+    ChannelDecl, DigestProbe, DigestSink, Recorder, RecordingLink, ReplayHandle, ReplayMode,
+    Replayer, TraceReader, TraceWriter, TRACE_SCHEMA_VERSION,
+};
 pub use remote::{ComponentRegistry, RemoteClient, RemoteError, RemoteHost, SpecSummary};
 pub use serve::{
     AcceptLoop, BroadcastSendEnd, Housekeeper, RegistryStats, ServeConfig, SessionId,

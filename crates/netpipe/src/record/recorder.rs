@@ -1,0 +1,259 @@
+//! Recorder taps: attaching a [`TraceWriter`] to the places traffic
+//! flows through, without copying payloads.
+//!
+//! * [`RecordingLink`] wraps any [`Link`]: every frame offered to the
+//!   send side is recorded (shared by refcount) *before* it is handed
+//!   to the inner link. The tap records **offered** traffic — what the
+//!   application sent, not what the network delivered — so a replay
+//!   through the same seeded [`SimConfig`](crate::SimConfig) reproduces
+//!   the original drops instead of baking them in.
+//! * [`Recorder`] is a pipeline [`Function`] stage for taps on a
+//!   pipeline edge: it passes [`WireBytes`] items through unchanged and
+//!   records them as data frames.
+//! * [`DigestSink`] is the verification consumer: it folds every
+//!   delivered payload into a frame-aware [`Digest64`], which is how
+//!   replay determinism is asserted end to end.
+//!
+//! Timestamps come from the kernel clock ([`Kernel::now`]), so a
+//! recording under virtual time is itself deterministic.
+
+use super::writer::TraceWriter;
+use crate::framing::FrameKind;
+use crate::marshal::WireBytes;
+use crate::transport::{
+    Frame, KernelPost, Link, LinkStats, PeerIdentity, RecvOutcome, SendStatus, TransportError,
+};
+use infopipes::{
+    Consumer, ControlEvent, Digest64, InboxSender, Item, ItemType, Stage, StageCtx, Typespec,
+};
+use mbthread::Kernel;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A link wrapper that records every frame offered to its send side.
+///
+/// Cheap to clone (clones share the inner link and the writer); drops
+/// in anywhere a [`Link`] is expected, so an existing pipeline gains
+/// recording by swapping its link handle.
+#[derive(Clone)]
+pub struct RecordingLink<L: Link> {
+    inner: L,
+    writer: TraceWriter,
+    channel: u16,
+    kernel: Kernel,
+}
+
+impl<L: Link> RecordingLink<L> {
+    /// Taps `link`: frames sent through the returned handle are recorded
+    /// under `channel` with timestamps from `kernel`'s clock.
+    #[must_use]
+    pub fn attach(link: L, writer: TraceWriter, channel: u16, kernel: &Kernel) -> RecordingLink<L> {
+        RecordingLink {
+            inner: link,
+            writer,
+            channel,
+            kernel: kernel.clone(),
+        }
+    }
+
+    /// The wrapped link.
+    #[must_use]
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    fn tap(&self, frame: &Frame) {
+        // A full disk must not take the data path down with it: the tap
+        // drops the record, never the frame.
+        let _ = self
+            .writer
+            .record_frame(self.channel, self.kernel.now().as_nanos(), frame);
+    }
+}
+
+impl<L: Link> Link for RecordingLink<L> {
+    fn peer(&self) -> PeerIdentity {
+        self.inner.peer()
+    }
+
+    fn send(&self, frame: Frame) -> SendStatus {
+        self.tap(&frame);
+        self.inner.send(frame)
+    }
+
+    fn send_ready(&self) -> bool {
+        self.inner.send_ready()
+    }
+
+    fn send_via(&self, post: KernelPost<'_>, frame: Frame) -> SendStatus {
+        self.tap(&frame);
+        self.inner.send_via(post, frame)
+    }
+
+    fn recv(&self, timeout: Duration) -> RecvOutcome {
+        self.inner.recv(timeout)
+    }
+
+    fn bind_receiver(
+        &self,
+        inbox: Option<InboxSender>,
+        on_event: impl Fn(ControlEvent) + Send + 'static,
+    ) -> Result<(), TransportError> {
+        self.inner.bind_receiver(inbox, on_event)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.inner.stats()
+    }
+}
+
+impl<L: Link> std::fmt::Debug for RecordingLink<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingLink")
+            .field("peer", &self.inner.peer().to_string())
+            .field("channel", &self.channel)
+            .finish()
+    }
+}
+
+/// A pass-through pipeline stage recording every [`WireBytes`] item
+/// that crosses it as a data record. Attach on any pipeline edge
+/// (typically between a `Marshal` and the send end).
+pub struct Recorder {
+    name: String,
+    writer: TraceWriter,
+    channel: u16,
+    kernel: Kernel,
+}
+
+impl Recorder {
+    /// A recorder stage writing to `writer` under `channel`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        writer: TraceWriter,
+        channel: u16,
+        kernel: &Kernel,
+    ) -> Recorder {
+        Recorder {
+            name: name.into(),
+            writer,
+            channel,
+            kernel: kernel.clone(),
+        }
+    }
+}
+
+impl Stage for Recorder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+}
+
+impl infopipes::Function for Recorder {
+    fn convert(&mut self, item: Item) -> Option<Item> {
+        match item.into_payload::<WireBytes>() {
+            Ok((bytes, meta)) => {
+                // The record shares the payload by refcount and the item
+                // is rebuilt around the same handle: zero copies.
+                let _ = self.writer.record(
+                    self.channel,
+                    self.kernel.now().as_nanos(),
+                    FrameKind::Data,
+                    bytes.clone(),
+                );
+                let mut out = Item::bytes(bytes);
+                out.meta = meta;
+                Some(out)
+            }
+            Err(item) => Some(item),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("name", &self.name)
+            .field("channel", &self.channel)
+            .finish()
+    }
+}
+
+/// A shared probe onto a [`DigestSink`]'s running digest.
+#[derive(Clone, Debug, Default)]
+pub struct DigestProbe {
+    digest: Arc<Mutex<Digest64>>,
+    frames: Arc<AtomicU64>,
+}
+
+impl DigestProbe {
+    /// The digest over everything consumed so far.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.digest.lock().value()
+    }
+
+    /// Frames consumed so far.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+}
+
+/// A consumer that folds every delivered [`WireBytes`] payload into a
+/// frame-aware [`Digest64`] — the far end of a replay-determinism
+/// check: two deliveries digest equal iff they carried the same
+/// payloads, framed the same way, in the same order.
+pub struct DigestSink {
+    name: String,
+    probe: DigestProbe,
+}
+
+impl DigestSink {
+    /// A digest sink and its shared probe.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> (DigestSink, DigestProbe) {
+        let probe = DigestProbe::default();
+        (
+            DigestSink {
+                name: name.into(),
+                probe: probe.clone(),
+            },
+            probe,
+        )
+    }
+}
+
+impl Stage for DigestSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepts(&self) -> Typespec {
+        Typespec::with_item_type(ItemType::of::<WireBytes>())
+    }
+}
+
+impl Consumer for DigestSink {
+    fn push(&mut self, _ctx: &mut StageCtx<'_, '_>, item: Item) {
+        if let Ok((bytes, _)) = item.into_payload::<WireBytes>() {
+            self.probe.digest.lock().update(bytes.as_slice());
+            self.probe.frames.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for DigestSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DigestSink")
+            .field("name", &self.name)
+            .finish()
+    }
+}
